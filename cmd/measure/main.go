@@ -1,0 +1,101 @@
+// Command measure runs the full simulated measurement campaign of the
+// study: it builds the 1114-server world, executes the selected weekly
+// waves, prints every figure and table of the paper's evaluation, and
+// optionally writes the (anonymized) dataset as JSONL.
+//
+// Usage:
+//
+//	measure [-seed 2020] [-waves 0-7] [-dataset out.jsonl] [-anonymize]
+//	        [-testkeys] [-noise 0.002] [-csv]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	opcuastudy "repro"
+)
+
+func parseWaves(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || a > b {
+				return nil, fmt.Errorf("invalid wave range %q", part)
+			}
+			for w := a; w <= b; w++ {
+				out = append(out, w)
+			}
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("invalid wave %q", part)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	seed := flag.Int64("seed", 2020, "world generation seed")
+	waves := flag.String("waves", "", "waves to run, e.g. \"7\" or \"0-7\" (default all)")
+	datasetPath := flag.String("dataset", "", "write the dataset as JSONL to this file")
+	anonymize := flag.Bool("anonymize", false, "apply release anonymization to the dataset")
+	testKeys := flag.Bool("testkeys", false, "use 512-bit keys (fast, breaks key-length analysis)")
+	noise := flag.Float64("noise", 0.002, "open-port noise probability")
+	csv := flag.Bool("csv", false, "print tables as CSV instead of text")
+	flag.Parse()
+
+	waveList, err := parseWaves(*waves)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := opcuastudy.CampaignConfig{
+		Seed:         *seed,
+		Waves:        waveList,
+		TestKeySizes: *testKeys,
+		NoiseProb:    *noise,
+		Anonymize:    *anonymize,
+		Progressf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	c, err := opcuastudy.RunCampaign(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, tbl := range c.Report() {
+		if *csv {
+			fmt.Println(tbl.CSV())
+		} else {
+			fmt.Println(tbl.Render())
+		}
+	}
+
+	if *datasetPath != "" {
+		f, err := os.Create(*datasetPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.WriteDataset(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dataset written to %s\n", *datasetPath)
+	}
+}

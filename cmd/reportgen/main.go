@@ -1,0 +1,49 @@
+// Command reportgen regenerates every figure and table of the study
+// from a dataset file (JSONL, possibly anonymized), mirroring the
+// paper's reproducibility path via its released dataset.
+//
+// Usage:
+//
+//	reportgen [-csv] dataset.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	opcuastudy "repro"
+	"repro/internal/dataset"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	csv := flag.Bool("csv", false, "print tables as CSV")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: reportgen [-csv] dataset.jsonl")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := dataset.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyses, long := opcuastudy.AnalyzeRecords(recs)
+	if len(analyses) == 0 {
+		log.Fatal("dataset contains no analyzable waves")
+	}
+	for _, tbl := range report.All(analyses, long) {
+		if *csv {
+			fmt.Println(tbl.CSV())
+		} else {
+			fmt.Println(tbl.Render())
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Command uaserverd runs a configurable OPC UA server, useful for
+// interop testing and as a scan target for uascan. Security policies,
+// modes, authentication options and the misconfiguration quirks the
+// study observes in the wild can all be toggled from flags.
+//
+// Usage:
+//
+//	uaserverd [-listen :4840] [-policies None,Basic256Sha256]
+//	          [-modes Sign,SignAndEncrypt] [-anon] [-user operator:secret]
+//	          [-cert-hash SHA256] [-key-bits 2048]
+//	          [-reject-client-cert] [-reject-sessions]
+package main
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"flag"
+	"fmt"
+	"log"
+	mathrand "math/rand"
+	"net"
+	"strings"
+
+	"repro/internal/addrspace"
+	"repro/internal/uacert"
+	"repro/internal/uamsg"
+	"repro/internal/uapolicy"
+	"repro/internal/uaserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	listen := flag.String("listen", ":4840", "listen address")
+	policies := flag.String("policies", "None,Basic256Sha256", "comma-separated security policies")
+	modes := flag.String("modes", "Sign,SignAndEncrypt", "modes for secure policies")
+	anon := flag.Bool("anon", true, "advertise anonymous authentication")
+	user := flag.String("user", "", "user:password for UserName authentication")
+	certHash := flag.String("cert-hash", "SHA256", "certificate signature hash: MD5, SHA1 or SHA256")
+	keyBits := flag.Int("key-bits", 2048, "RSA key size")
+	appURI := flag.String("app-uri", "urn:repro:uaserverd", "application URI")
+	version := flag.String("software-version", "1.0.0", "BuildInfo/SoftwareVersion")
+	variables := flag.Int("variables", 32, "application variables in the address space")
+	methods := flag.Int("methods", 6, "application methods in the address space")
+	rejectCert := flag.Bool("reject-client-cert", false, "abort secure channels on client certificates")
+	rejectSessions := flag.Bool("reject-sessions", false, "fail CreateSession despite advertised options")
+	profile := flag.String("profile", "production", "address-space profile: production, test or bare")
+	flag.Parse()
+
+	var hash uacert.HashAlg
+	switch strings.ToUpper(*certHash) {
+	case "MD5":
+		hash = uacert.HashMD5
+	case "SHA1", "SHA-1":
+		hash = uacert.HashSHA1
+	case "SHA256", "SHA-256":
+		hash = uacert.HashSHA256
+	default:
+		log.Fatalf("unknown certificate hash %q", *certHash)
+	}
+
+	var modeList []uamsg.MessageSecurityMode
+	for _, m := range strings.Split(*modes, ",") {
+		switch strings.TrimSpace(m) {
+		case "Sign":
+			modeList = append(modeList, uamsg.SecurityModeSign)
+		case "SignAndEncrypt":
+			modeList = append(modeList, uamsg.SecurityModeSignAndEncrypt)
+		case "":
+		default:
+			log.Fatalf("unknown mode %q", m)
+		}
+	}
+	var endpoints []uaserver.EndpointConfig
+	for _, name := range strings.Split(*policies, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var pol *uapolicy.Policy
+		for _, p := range uapolicy.All() {
+			if p.Name == name || p.Abbrev == name {
+				pol = p
+				break
+			}
+		}
+		if pol == nil {
+			log.Fatalf("unknown policy %q", name)
+		}
+		if pol.Insecure {
+			endpoints = append(endpoints, uaserver.EndpointConfig{
+				Policy: pol, Modes: []uamsg.MessageSecurityMode{uamsg.SecurityModeNone},
+			})
+		} else {
+			endpoints = append(endpoints, uaserver.EndpointConfig{Policy: pol, Modes: modeList})
+		}
+	}
+
+	var tokens []uamsg.UserTokenType
+	users := map[string]string{}
+	if *anon {
+		tokens = append(tokens, uamsg.UserTokenAnonymous)
+	}
+	if *user != "" {
+		name, pw, ok := strings.Cut(*user, ":")
+		if !ok {
+			log.Fatal("-user must be user:password")
+		}
+		users[name] = pw
+		tokens = append(tokens, uamsg.UserTokenUserName)
+	}
+
+	key, err := rsa.GenerateKey(rand.Reader, *keyBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, err := uacert.Generate(key, uacert.Options{
+		CommonName:     "uaserverd",
+		Organization:   "repro",
+		ApplicationURI: *appURI,
+		SignatureHash:  hash,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	space := addrspace.New(*appURI, *version)
+	prof := addrspace.ProfileProduction
+	switch *profile {
+	case "test":
+		prof = addrspace.ProfileTest
+	case "bare":
+		prof = addrspace.ProfileBare
+	case "production":
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+	if _, err := addrspace.Populate(space, addrspace.BuildOptions{
+		Profile:            prof,
+		Variables:          *variables,
+		Methods:            *methods,
+		AnonReadableFrac:   1.0,
+		AnonWritableFrac:   0.25,
+		AnonExecutableFrac: 0.9,
+		Rand:               mathrand.New(mathrand.NewSource(mathrand.Int63())),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	endpointURL := fmt.Sprintf("opc.tcp://%s", l.Addr())
+	srv, err := uaserver.New(uaserver.Config{
+		ApplicationURI:  *appURI,
+		ProductURI:      *appURI,
+		ApplicationName: "uaserverd",
+		SoftwareVersion: *version,
+		EndpointURL:     endpointURL,
+		Endpoints:       endpoints,
+		TokenTypes:      tokens,
+		Users:           users,
+		Key:             key,
+		CertDER:         cert.Raw,
+		Space:           space,
+		Quirks: uaserver.Quirks{
+			RejectClientCert: *rejectCert,
+			RejectSessions:   *rejectSessions,
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("uaserverd listening on %s (%d endpoints, cert %s/%d bits)",
+		endpointURL, len(srv.Endpoints()), hash, *keyBits)
+	if err := srv.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Quickstart: run an OPC UA server and client in one process.
+//
+// The example starts a server with a None endpoint and an encrypted
+// Basic256Sha256 endpoint, then connects a client, lists the endpoints,
+// opens an encrypted channel, creates an anonymous session, and reads a
+// process variable — the same protocol path the study's scanner uses.
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+	"log"
+	mrand "math/rand"
+	"time"
+
+	"repro/internal/addrspace"
+	"repro/internal/uacert"
+	"repro/internal/uaclient"
+	"repro/internal/uamsg"
+	"repro/internal/uapolicy"
+	"repro/internal/uaserver"
+	"repro/internal/uatypes"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- Server side ---
+	key, err := rsa.GenerateKey(rand.Reader, 2048)
+	check(err)
+	cert, err := uacert.Generate(key, uacert.Options{
+		CommonName:     "Quickstart PLC",
+		Organization:   "Example GmbH",
+		ApplicationURI: "urn:example:quickstart",
+		SignatureHash:  uacert.HashSHA256,
+	})
+	check(err)
+
+	space := addrspace.New("urn:example:quickstart", "1.0.0")
+	_, err = addrspace.Populate(space, addrspace.BuildOptions{
+		Profile:            addrspace.ProfileProduction,
+		Variables:          8,
+		Methods:            2,
+		AnonReadableFrac:   1.0,
+		AnonWritableFrac:   0.25,
+		AnonExecutableFrac: 1.0,
+		Rand:               mrand.New(mrand.NewSource(1)),
+	})
+	check(err)
+
+	srv, l, err := uaserver.ListenAndServe(uaserver.Config{
+		ApplicationURI:  "urn:example:quickstart",
+		ApplicationName: "Quickstart PLC",
+		SoftwareVersion: "1.0.0",
+		EndpointURL:     "opc.tcp://127.0.0.1:0",
+		Endpoints: []uaserver.EndpointConfig{
+			{Policy: uapolicy.None, Modes: []uamsg.MessageSecurityMode{uamsg.SecurityModeNone}},
+			{Policy: uapolicy.Basic256Sha256, Modes: []uamsg.MessageSecurityMode{
+				uamsg.SecurityModeSignAndEncrypt}},
+		},
+		TokenTypes: []uamsg.UserTokenType{uamsg.UserTokenAnonymous},
+		Key:        key,
+		CertDER:    cert.Raw,
+		Space:      space,
+	}, "127.0.0.1:0")
+	check(err)
+	defer srv.Close()
+	url := "opc.tcp://" + l.Addr().String()
+	fmt.Println("server listening on", url)
+
+	// --- Client side: discover endpoints over an insecure channel ---
+	ctx := context.Background()
+	disco, err := uaclient.Dial(ctx, url, uaclient.Options{Timeout: 5 * time.Second})
+	check(err)
+	check(disco.OpenInsecureChannel())
+	eps, err := disco.GetEndpoints()
+	check(err)
+	fmt.Printf("server advertises %d endpoints:\n", len(eps))
+	var serverCert []byte
+	for _, ep := range eps {
+		fmt.Printf("  %-50s %s\n", ep.SecurityPolicyURI, ep.SecurityMode)
+		serverCert = ep.ServerCertificate
+	}
+	_ = disco.Close()
+
+	// --- Encrypted session ---
+	clientKey, err := rsa.GenerateKey(rand.Reader, 2048)
+	check(err)
+	clientCert, err := uacert.Generate(clientKey, uacert.Options{
+		CommonName: "quickstart client", ApplicationURI: "urn:example:client",
+	})
+	check(err)
+
+	c, err := uaclient.Dial(ctx, url, uaclient.Options{Timeout: 5 * time.Second})
+	check(err)
+	defer c.Close()
+	check(c.OpenChannel(uaclient.ChannelSecurity{
+		Policy:        uapolicy.Basic256Sha256,
+		Mode:          uamsg.SecurityModeSignAndEncrypt,
+		LocalKey:      clientKey,
+		LocalCertDER:  clientCert.Raw,
+		RemoteCertDER: serverCert,
+	}))
+	check(c.CreateSession(uaclient.AnonymousIdentity()))
+	fmt.Println("encrypted session established")
+
+	ns, err := c.NamespaceArray()
+	check(err)
+	fmt.Println("namespaces:", ns)
+
+	ver, err := c.SoftwareVersion()
+	check(err)
+	fmt.Println("software version:", ver)
+
+	dv, err := c.ReadValue(uatypes.NewStringNodeID(2, "m3InflowPerHour_0"))
+	check(err)
+	if dv.Value != nil {
+		fmt.Println("m3InflowPerHour_0 =", dv.Value)
+	}
+
+	refs, err := c.Browse(addrspace.ObjectsFolder())
+	check(err)
+	fmt.Printf("objects folder has %d children\n", len(refs))
+	check(c.CloseSession())
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

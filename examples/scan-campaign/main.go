@@ -1,0 +1,57 @@
+// Scan-campaign: run one measurement wave of the study against the
+// simulated Internet and print the headline assessment — a small-scale
+// version of cmd/measure that finishes in seconds by using test-size
+// keys.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	opcuastudy "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	c, err := opcuastudy.RunCampaign(context.Background(), opcuastudy.CampaignConfig{
+		Seed:         2020,
+		Waves:        []int{7}, // the paper's final measurement, 2020-08-30
+		TestKeySizes: true,     // 512-bit keys: fast, key-length analysis off
+		NoiseProb:    0.001,
+		Progressf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := c.LastWave()
+	fmt.Println()
+	fmt.Printf("OPC UA hosts found:      %d (%d servers + %d discovery)\n",
+		len(w.Records), len(w.Servers), w.Discovery)
+	fmt.Printf("no security at all:      %d (%.0f%%)\n",
+		w.NoneOnly, pct(w.NoneOnly, len(w.Servers)))
+	fmt.Printf("deprecated-only best:    %d (%.0f%%)\n",
+		w.DeprecatedBest, pct(w.DeprecatedBest, len(w.Servers)))
+	fmt.Printf("anonymous access:        %d (%.0f%%)\n",
+		w.AnonSCOK, pct(w.AnonSCOK, len(w.Servers)))
+	fmt.Printf("publicly accessible:     %d (%.0f%%)\n",
+		w.Accessible, pct(w.Accessible, len(w.Servers)))
+	fmt.Printf("deficient overall:       %d (%.0f%%)\n",
+		w.Deficient, 100*w.DeficientFrac)
+
+	fmt.Println()
+	for _, tbl := range c.Report()[2:5] { // Figures 3-5
+		fmt.Println(tbl.Render())
+	}
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

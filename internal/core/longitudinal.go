@@ -1,0 +1,129 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// RenewalEvent is a certificate change on a host with a static address
+// between consecutive waves (§5.5).
+type RenewalEvent struct {
+	Address        string
+	Wave           int // the wave where the new certificate appeared
+	OldHash        string
+	NewHash        string
+	SoftwareUpdate bool // SoftwareVersion changed in the same wave
+	Upgraded       bool // SHA-1 → SHA-256
+	Downgraded     bool // SHA-256 → SHA-1
+}
+
+// Longitudinal aggregates across all waves (§5.5).
+type Longitudinal struct {
+	Waves []*WaveAnalysis
+
+	DeficientSeries  []float64
+	DeficientSummary stats.Summary
+
+	Renewals        []RenewalEvent
+	UpgradedSHA1    int
+	Downgraded      int
+	SoftwareUpdates int
+
+	// Distinct certificates observed over the whole campaign.
+	TotalCerts   int
+	SHA1Certs    int
+	SHA1Post2017 int
+	SHA1Post2019 int
+
+	// Same-organization reuse growth (the paper's 263 → 387 devices).
+	ReuseGrowth []int
+}
+
+// AnalyzeLongitudinal combines per-wave analyses.
+func AnalyzeLongitudinal(waves []*WaveAnalysis) *Longitudinal {
+	l := &Longitudinal{Waves: waves}
+	for _, w := range waves {
+		l.DeficientSeries = append(l.DeficientSeries, w.DeficientFrac)
+	}
+	l.DeficientSummary = stats.Summarize(l.DeficientSeries)
+
+	// Track certificates per host address across waves.
+	type certState struct {
+		wave    int
+		thumb   string
+		hash    string
+		version string
+	}
+	last := map[string]certState{}
+	certSeen := map[string]bool{}
+	cut2017 := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	cut2019 := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	for _, w := range waves {
+		for _, h := range w.Servers {
+			r := h.Record
+			if r.Cert == nil {
+				continue
+			}
+			if !certSeen[r.Cert.Thumbprint] {
+				certSeen[r.Cert.Thumbprint] = true
+				l.TotalCerts++
+				if r.Cert.Hash == "SHA-1" {
+					l.SHA1Certs++
+					if r.Cert.NotBefore.After(cut2017) {
+						l.SHA1Post2017++
+					}
+					if r.Cert.NotBefore.After(cut2019) {
+						l.SHA1Post2019++
+					}
+				}
+			}
+			prev, ok := last[r.Address]
+			if ok && prev.thumb != r.Cert.Thumbprint {
+				ev := RenewalEvent{
+					Address:        r.Address,
+					Wave:           w.Wave,
+					OldHash:        prev.hash,
+					NewHash:        r.Cert.Hash,
+					SoftwareUpdate: prev.version != r.SoftwareVersion,
+					Upgraded:       prev.hash == "SHA-1" && r.Cert.Hash == "SHA-256",
+					Downgraded:     prev.hash == "SHA-256" && r.Cert.Hash == "SHA-1",
+				}
+				l.Renewals = append(l.Renewals, ev)
+				if ev.Upgraded {
+					l.UpgradedSHA1++
+				}
+				if ev.Downgraded {
+					l.Downgraded++
+				}
+				if ev.SoftwareUpdate {
+					l.SoftwareUpdates++
+				}
+			}
+			last[r.Address] = certState{
+				wave: w.Wave, thumb: r.Cert.Thumbprint,
+				hash: r.Cert.Hash, version: r.SoftwareVersion,
+			}
+		}
+
+		// Same-organization reuse growth: hosts sharing any certificate
+		// whose subject organization matches the biggest cluster's.
+		bigOrg := ""
+		bigHosts := 0
+		for _, c := range w.ReuseClustersAtLeast(3) {
+			if c.Hosts > bigHosts {
+				bigHosts = c.Hosts
+				bigOrg = c.SubjectOrg
+			}
+		}
+		count := 0
+		for _, c := range w.ReuseClustersAtLeast(3) {
+			if c.SubjectOrg == bigOrg && bigOrg != "" {
+				count += c.Hosts
+			}
+		}
+		l.ReuseGrowth = append(l.ReuseGrowth, count)
+	}
+	return l
+}

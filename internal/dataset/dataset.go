@@ -1,0 +1,297 @@
+// Package dataset defines the measurement record format, the conversion
+// from raw grabs, JSONL persistence, and the anonymization rules the
+// paper applies before releasing data: IP addresses and autonomous
+// systems become sequence numbers, certificate identity fields are
+// blackened, and node payload data is dropped (Appendix A.1).
+package dataset
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"repro/internal/scanner"
+	"repro/internal/uacert"
+	"repro/internal/uamsg"
+)
+
+// EndpointRecord is one advertised endpoint.
+type EndpointRecord struct {
+	URL        string   `json:"url"`
+	Mode       string   `json:"mode"`
+	PolicyURI  string   `json:"policy"`
+	TokenTypes []string `json:"token_types"`
+}
+
+// CertRecord is the analyzed server certificate. The modulus stays in
+// the released dataset (public keys are public); identity fields are
+// blackened by the anonymizer.
+type CertRecord struct {
+	Thumbprint string    `json:"thumbprint"`
+	Hash       string    `json:"hash"`
+	Bits       int       `json:"bits"`
+	NotBefore  time.Time `json:"not_before"`
+	NotAfter   time.Time `json:"not_after"`
+	SubjectCN  string    `json:"subject_cn"`
+	SubjectOrg string    `json:"subject_org"`
+	AppURI     string    `json:"app_uri"`
+	SelfSigned bool      `json:"self_signed"`
+	ModulusB64 string    `json:"modulus"`
+}
+
+// NodeRecord is one traversed node (payload dropped on release).
+type NodeRecord struct {
+	ID          string `json:"id"`
+	Class       string `json:"class"`
+	DisplayName string `json:"display_name"`
+	Readable    bool   `json:"readable"`
+	Writable    bool   `json:"writable"`
+	Executable  bool   `json:"executable"`
+	ValueSample string `json:"value_sample,omitempty"`
+}
+
+// HostRecord is one scanned host in one wave, the unit of analysis.
+type HostRecord struct {
+	Wave    int       `json:"wave"`
+	Date    time.Time `json:"date"`
+	Address string    `json:"address"`
+	ASN     int       `json:"asn"`
+	Via     string    `json:"via"`
+
+	ReachedOPCUA bool   `json:"reached_opcua"`
+	Error        string `json:"error,omitempty"`
+
+	AppURI          string `json:"app_uri,omitempty"`
+	ProductURI      string `json:"product_uri,omitempty"`
+	ApplicationType string `json:"application_type,omitempty"`
+	SoftwareVersion string `json:"software_version,omitempty"`
+
+	Endpoints []EndpointRecord `json:"endpoints,omitempty"`
+	Cert      *CertRecord      `json:"cert,omitempty"`
+
+	SecureChannelAttempted bool   `json:"sc_attempted"`
+	SecureChannelOK        bool   `json:"sc_ok"`
+	SecureChannelPolicy    string `json:"sc_policy,omitempty"`
+	CertRejected           bool   `json:"cert_rejected"`
+
+	AnonOffered   bool   `json:"anon_offered"`
+	AnonAttempted bool   `json:"anon_attempted"`
+	AnonOK        bool   `json:"anon_ok"`
+	AnonError     string `json:"anon_error,omitempty"`
+
+	Namespaces []string     `json:"namespaces,omitempty"`
+	Nodes      []NodeRecord `json:"nodes,omitempty"`
+
+	Variables  int `json:"variables"`
+	Readable   int `json:"readable"`
+	Writable   int `json:"writable"`
+	Methods    int `json:"methods"`
+	Executable int `json:"executable"`
+
+	Bytes    int64         `json:"bytes"`
+	Duration time.Duration `json:"duration"`
+}
+
+// IsDiscovery reports whether the host is a discovery server.
+func (r *HostRecord) IsDiscovery() bool {
+	return r.ApplicationType == "DiscoveryServer"
+}
+
+// Accessible reports whether the anonymous session succeeded.
+func (r *HostRecord) Accessible() bool { return r.AnonOK }
+
+// FromResult converts a raw grab into a record.
+func FromResult(res *scanner.Result, wave int, date time.Time, asn int) *HostRecord {
+	rec := &HostRecord{
+		Wave:         wave,
+		Date:         date,
+		Address:      res.Address,
+		ASN:          asn,
+		Via:          string(res.Via),
+		ReachedOPCUA: res.ReachedOPCUA,
+		Error:        res.Error,
+
+		AppURI:          res.ApplicationURI,
+		ProductURI:      res.ProductURI,
+		SoftwareVersion: res.SoftwareVersion,
+
+		SecureChannelAttempted: res.SecureChannel.Attempted,
+		SecureChannelOK:        res.SecureChannel.OK,
+		SecureChannelPolicy:    res.SecureChannel.PolicyURI,
+		CertRejected:           res.SecureChannel.CertRejected,
+
+		AnonOffered:   res.Session.Offered,
+		AnonAttempted: res.Session.Attempted,
+		AnonOK:        res.Session.OK,
+		AnonError:     res.Session.Error,
+
+		Namespaces: res.Namespaces,
+
+		Variables:  res.NodeStats.Variables,
+		Readable:   res.NodeStats.Readable,
+		Writable:   res.NodeStats.Writable,
+		Methods:    res.NodeStats.Methods,
+		Executable: res.NodeStats.Executable,
+
+		Bytes:    res.BytesTransferred,
+		Duration: res.Duration,
+	}
+	switch res.ApplicationType {
+	case uamsg.ApplicationDiscoveryServer:
+		rec.ApplicationType = "DiscoveryServer"
+	case uamsg.ApplicationServer:
+		rec.ApplicationType = "Server"
+	case uamsg.ApplicationClientAndServer:
+		rec.ApplicationType = "ClientAndServer"
+	}
+	for _, ep := range res.Endpoints {
+		er := EndpointRecord{
+			URL:       ep.URL,
+			Mode:      ep.SecurityMode.String(),
+			PolicyURI: ep.SecurityPolicyURI,
+		}
+		for _, tt := range ep.TokenTypes {
+			er.TokenTypes = append(er.TokenTypes, tt.String())
+		}
+		rec.Endpoints = append(rec.Endpoints, er)
+	}
+	if len(res.ServerCertDER) > 0 {
+		if cert, err := uacert.Parse(res.ServerCertDER); err == nil {
+			rec.Cert = &CertRecord{
+				Thumbprint: cert.ThumbprintHex(),
+				Hash:       cert.SignatureHash.String(),
+				Bits:       cert.KeyBits(),
+				NotBefore:  cert.NotBefore,
+				NotAfter:   cert.NotAfter,
+				SubjectCN:  cert.SubjectCN,
+				SubjectOrg: cert.SubjectOrg,
+				AppURI:     cert.ApplicationURI,
+				SelfSigned: cert.SelfSigned(),
+				ModulusB64: base64.StdEncoding.EncodeToString(cert.PublicKey.N.Bytes()),
+			}
+		}
+	}
+	for _, n := range res.Nodes {
+		rec.Nodes = append(rec.Nodes, NodeRecord{
+			ID:          n.ID,
+			Class:       n.Class,
+			DisplayName: n.DisplayName,
+			Readable:    n.Readable,
+			Writable:    n.Writable,
+			Executable:  n.Executable,
+			ValueSample: n.ValueSample,
+		})
+	}
+	return rec
+}
+
+// Anonymizer rewrites identifying fields with stable sequence numbers.
+type Anonymizer struct {
+	ips  map[string]int
+	asns map[int]int
+}
+
+// NewAnonymizer returns an empty anonymizer; mappings are stable across
+// calls so longitudinal analyses still work on released data.
+func NewAnonymizer() *Anonymizer {
+	return &Anonymizer{ips: make(map[string]int), asns: make(map[int]int)}
+}
+
+func (a *Anonymizer) ipSeq(ip string) int {
+	if n, ok := a.ips[ip]; ok {
+		return n
+	}
+	n := len(a.ips) + 1
+	a.ips[ip] = n
+	return n
+}
+
+func (a *Anonymizer) asnSeq(asn int) int {
+	if n, ok := a.asns[asn]; ok {
+		return n
+	}
+	n := len(a.asns) + 1
+	a.asns[asn] = n
+	return n
+}
+
+// Anonymize rewrites one record in place: host addresses become
+// "host-N:port", ASNs become sequence numbers, certificate identity
+// fields are blackened, node names and payload samples are dropped.
+func (a *Anonymizer) Anonymize(rec *HostRecord) {
+	host, port := splitAddress(rec.Address)
+	rec.Address = fmt.Sprintf("host-%d:%s", a.ipSeq(host), port)
+	rec.ASN = a.asnSeq(rec.ASN)
+	for i := range rec.Endpoints {
+		// Endpoint URLs contain addresses (possibly of other hosts).
+		u := rec.Endpoints[i].URL
+		if h, p, ok := splitEndpointURL(u); ok {
+			rec.Endpoints[i].URL = fmt.Sprintf("opc.tcp://host-%d:%s", a.ipSeq(h), p)
+		}
+	}
+	if rec.Cert != nil {
+		rec.Cert.SubjectCN = "[redacted]"
+		rec.Cert.SubjectOrg = "[redacted]"
+		rec.Cert.AppURI = "[redacted]"
+	}
+	for i := range rec.Nodes {
+		rec.Nodes[i].ValueSample = ""
+		rec.Nodes[i].DisplayName = ""
+	}
+}
+
+func splitAddress(addr string) (host, port string) {
+	ap, err := netip.ParseAddrPort(addr)
+	if err != nil {
+		return addr, "4840"
+	}
+	return ap.Addr().String(), fmt.Sprintf("%d", ap.Port())
+}
+
+func splitEndpointURL(u string) (host, port string, ok bool) {
+	const prefix = "opc.tcp://"
+	if len(u) <= len(prefix) || u[:len(prefix)] != prefix {
+		return "", "", false
+	}
+	h, p := splitAddress(u[len(prefix):])
+	return h, p, true
+}
+
+// Write streams records as JSON lines.
+func Write(w io.Writer, recs []*HostRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("dataset: encode: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads JSONL records.
+func Read(r io.Reader) ([]*HostRecord, error) {
+	var out []*HostRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec HostRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		out = append(out, &rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	return out, nil
+}

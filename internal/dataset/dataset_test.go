@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scanner"
+	"repro/internal/uamsg"
+)
+
+func sampleResult() *scanner.Result {
+	return &scanner.Result{
+		Address:         "100.64.0.5:4840",
+		Via:             scanner.ViaPortScan,
+		Time:            time.Date(2020, 8, 30, 10, 0, 0, 0, time.UTC),
+		ReachedOPCUA:    true,
+		ApplicationURI:  "urn:bachmann.info:M1:0005",
+		ApplicationType: uamsg.ApplicationServer,
+		SoftwareVersion: "2.0.1",
+		Endpoints: []scanner.EndpointInfo{{
+			URL:               "opc.tcp://100.64.0.5:4840",
+			SecurityMode:      uamsg.SecurityModeNone,
+			SecurityPolicyURI: "http://opcfoundation.org/UA/SecurityPolicy#None",
+			TokenTypes:        []uamsg.UserTokenType{uamsg.UserTokenAnonymous},
+		}, {
+			URL:               "opc.tcp://100.64.0.6:4841",
+			SecurityMode:      uamsg.SecurityModeSignAndEncrypt,
+			SecurityPolicyURI: "http://opcfoundation.org/UA/SecurityPolicy#Basic256Sha256",
+			TokenTypes:        []uamsg.UserTokenType{uamsg.UserTokenUserName},
+		}},
+		Session:    scanner.SessionResult{Offered: true, Attempted: true, OK: true},
+		Namespaces: []string{"http://opcfoundation.org/UA/", "http://bachmann.info/UA/M1"},
+		Nodes: []scanner.NodeRecord{{
+			ID: "ns=2;s=m3InflowPerHour_0", Class: "Variable",
+			DisplayName: "m3InflowPerHour_0", Readable: true,
+			ValueSample: "42.5",
+		}},
+		NodeStats:        scanner.NodeStats{Variables: 10, Readable: 9, Writable: 2, Methods: 3, Executable: 3},
+		BytesTransferred: 12345,
+		Duration:         110 * time.Millisecond,
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	rec := FromResult(sampleResult(), 7, time.Date(2020, 8, 30, 0, 0, 0, 0, time.UTC), 64601)
+	if rec.Wave != 7 || rec.ASN != 64601 || !rec.ReachedOPCUA {
+		t.Errorf("rec = %+v", rec)
+	}
+	if rec.ApplicationType != "Server" || rec.IsDiscovery() {
+		t.Errorf("application type = %q", rec.ApplicationType)
+	}
+	if len(rec.Endpoints) != 2 || rec.Endpoints[1].Mode != "SignAndEncrypt" {
+		t.Errorf("endpoints = %+v", rec.Endpoints)
+	}
+	if rec.Endpoints[0].TokenTypes[0] != "Anonymous" {
+		t.Errorf("token types = %v", rec.Endpoints[0].TokenTypes)
+	}
+	if !rec.Accessible() || rec.Readable != 9 || rec.Writable != 2 {
+		t.Errorf("stats = %+v", rec)
+	}
+	if rec.Cert != nil {
+		t.Error("no cert DER given, record should have nil cert")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rec := FromResult(sampleResult(), 7, time.Now().UTC(), 64601)
+	var buf bytes.Buffer
+	if err := Write(&buf, []*HostRecord{rec, rec}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d", len(got))
+	}
+	if got[0].Address != rec.Address || got[0].Readable != rec.Readable ||
+		len(got[0].Endpoints) != len(rec.Endpoints) {
+		t.Errorf("round trip mismatch: %+v", got[0])
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	recs, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("blank lines: %v, %v", recs, err)
+	}
+}
+
+func TestAnonymizer(t *testing.T) {
+	a := NewAnonymizer()
+	rec := FromResult(sampleResult(), 7, time.Now().UTC(), 64601)
+	rec.Cert = &CertRecord{
+		Thumbprint: "abc123",
+		SubjectCN:  "Bachmann device",
+		SubjectOrg: "Bachmann",
+		AppURI:     "urn:bachmann.info:M1:0005",
+	}
+	a.Anonymize(rec)
+	if rec.Address != "host-1:4840" {
+		t.Errorf("address = %q", rec.Address)
+	}
+	if rec.ASN != 1 {
+		t.Errorf("ASN = %d", rec.ASN)
+	}
+	if rec.Cert.SubjectCN != "[redacted]" || rec.Cert.SubjectOrg != "[redacted]" ||
+		rec.Cert.AppURI != "[redacted]" {
+		t.Errorf("cert fields not blackened: %+v", rec.Cert)
+	}
+	if rec.Cert.Thumbprint != "abc123" {
+		t.Error("thumbprint must survive (needed for reuse analysis)")
+	}
+	for _, n := range rec.Nodes {
+		if n.ValueSample != "" || n.DisplayName != "" {
+			t.Error("node payload not dropped")
+		}
+	}
+	// Endpoint URLs anonymized with stable mapping: second endpoint
+	// points at another host → host-2.
+	if rec.Endpoints[0].URL != "opc.tcp://host-1:4840" {
+		t.Errorf("endpoint[0] = %q", rec.Endpoints[0].URL)
+	}
+	if rec.Endpoints[1].URL != "opc.tcp://host-2:4841" {
+		t.Errorf("endpoint[1] = %q", rec.Endpoints[1].URL)
+	}
+
+	// Stability: anonymizing another record from the same host maps to
+	// the same sequence number.
+	rec2 := FromResult(sampleResult(), 6, time.Now().UTC(), 64601)
+	a.Anonymize(rec2)
+	if rec2.Address != "host-1:4840" || rec2.ASN != 1 {
+		t.Errorf("anonymizer not stable: %q AS%d", rec2.Address, rec2.ASN)
+	}
+}
+
+func TestAnonymizeUnparseableAddress(t *testing.T) {
+	a := NewAnonymizer()
+	rec := &HostRecord{Address: "weird"}
+	a.Anonymize(rec)
+	if !strings.HasPrefix(rec.Address, "host-") {
+		t.Errorf("address = %q", rec.Address)
+	}
+}

@@ -1,0 +1,602 @@
+package deploy
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/uacert"
+)
+
+// Certificate class plans per group, tuned so the per-policy conformance
+// counts of Figure 4 come out exactly:
+//   - D1 (715 announcers): 75 too strong, 7 too weak
+//   - D2 (762): 5 too strong
+//   - S2 (564): 409 too weak, 155 conformant
+//
+// See DESIGN.md for the derivation; the D1∩S2 overlap of 479 hosts
+// forces 75 SHA-256 certificates inside that overlap and 404 SHA-1 ones.
+type certPlan struct {
+	class CertClass
+	count int
+}
+
+var certPlans = map[string][]certPlan{
+	"A": {
+		{CertClass{uacert.HashMD5, 1024}, 20},
+		{CertClass{uacert.HashMD5, 2048}, 15},
+		{CertClass{uacert.HashSHA1, 1024}, 120},
+		{CertClass{uacert.HashSHA1, 2048}, 85}, // includes 22 reuse-cluster hosts
+		{CertClass{uacert.HashSHA256, 2048}, 30},
+	},
+	"B": {
+		{CertClass{uacert.HashMD5, 1024}, 7}, // the D1 "too weak" hosts
+		{CertClass{uacert.HashSHA1, 1024}, 6},
+	},
+	"Bl": {{CertClass{uacert.HashSHA1, 1024}, 11}},
+	"Bk": {{CertClass{uacert.HashSHA1, 2048}, 2}},
+	"C": {
+		{CertClass{uacert.HashSHA1, 2048}, 110}, // includes 37 reuse-cluster hosts
+		{CertClass{uacert.HashSHA1, 1024}, 100},
+	},
+	"Cc": {
+		{CertClass{uacert.HashSHA1, 4096}, 5}, // the D2 "too strong" hosts
+		{CertClass{uacert.HashSHA1, 1024}, 39},
+	},
+	"Cm": {{CertClass{uacert.HashSHA256, 2048}, 6}},
+	"E": {
+		{CertClass{uacert.HashSHA256, 2048}, 75}, // D1 "too strong" = S2 conformant
+		{CertClass{uacert.HashSHA1, 2048}, 394},  // the 385- and 6-host reuse clusters + 3 singles
+	},
+	"Ep": {
+		{CertClass{uacert.HashSHA1, 2048}, 9}, // 9-host reuse cluster
+		{CertClass{uacert.HashSHA1, 1024}, 1},
+	},
+	"G": {
+		{CertClass{uacert.HashSHA1, 2048}, 5}, // S2-weak without D1 (w=5)
+		{CertClass{uacert.HashSHA256, 2048}, 10},
+	},
+	"S": {
+		{CertClass{uacert.HashSHA256, 4096}, 2},
+		{CertClass{uacert.HashSHA256, 2048}, 40},
+	},
+	"I":  {{CertClass{uacert.HashSHA256, 2048}, 6}},
+	"N2": {{CertClass{uacert.HashSHA256, 2048}, 14}},
+	"O":  {{CertClass{uacert.HashSHA256, 2048}, 2}},
+}
+
+// assignCerts gives every host a certificate class, reuse-cluster
+// membership and NotBefore date.
+func assignCerts(hosts []HostSpec, rng *rand.Rand) error {
+	// Expand per-group plans into per-host classes in group order.
+	byGroup := make(map[string][]*HostSpec)
+	for i := range hosts {
+		h := &hosts[i]
+		h.Cert.ReuseCluster = -1
+		byGroup[h.Group] = append(byGroup[h.Group], h)
+	}
+	for g, members := range byGroup {
+		plans, ok := certPlans[g]
+		if !ok {
+			return fmt.Errorf("deploy: no cert plan for group %s", g)
+		}
+		i := 0
+		for _, p := range plans {
+			for k := 0; k < p.count; k++ {
+				if i >= len(members) {
+					return fmt.Errorf("deploy: cert plan for %s exceeds group size", g)
+				}
+				members[i].Cert.Class = p.class
+				i++
+			}
+		}
+		if i != len(members) {
+			return fmt.Errorf("deploy: cert plan for %s covers %d of %d hosts", g, i, len(members))
+		}
+	}
+
+	// Reuse clusters take hosts whose class already matches the cluster
+	// certificate, scanning each source group from the back (the front
+	// holds the "special" classes such as the SHA-256 conformant ones).
+	for ci, cluster := range reuseClusters {
+		pool := byGroup[cluster.group]
+		placed := 0
+		for i := len(pool) - 1; i >= 0 && placed < cluster.size; i-- {
+			h := pool[i]
+			if h.Cert.ReuseCluster != -1 || h.Cert.Class != cluster.class {
+				continue
+			}
+			h.Cert.ReuseCluster = ci
+			placed++
+		}
+		if placed != cluster.size {
+			return fmt.Errorf("deploy: cluster %d placed %d of %d hosts", ci, placed, cluster.size)
+		}
+	}
+
+	// NotBefore dates: §5.5 observes that ~50% of SHA-1 certificates
+	// were generated after the 2017 deprecation, and ~88% of those
+	// since 2019.
+	for i := range hosts {
+		h := &hosts[i]
+		switch {
+		case h.Cert.Class.Hash == uacert.HashSHA1:
+			r := rng.Float64()
+			switch {
+			case r < 0.50*0.885: // post-2019
+				h.Cert.NotBefore = dateIn(rng, 2019, 2020)
+			case r < 0.50: // 2017..2018
+				h.Cert.NotBefore = dateIn(rng, 2017, 2019)
+			default: // pre-deprecation
+				h.Cert.NotBefore = dateIn(rng, 2012, 2017)
+			}
+		case h.Cert.Class.Hash == uacert.HashMD5:
+			h.Cert.NotBefore = dateIn(rng, 2009, 2015)
+		default:
+			h.Cert.NotBefore = dateIn(rng, 2017, 2020)
+		}
+	}
+	// Cluster members share the cluster's certificate, so normalize
+	// their NotBefore to the first member's.
+	clusterStart := make(map[int]time.Time)
+	for i := range hosts {
+		h := &hosts[i]
+		if h.Cert.ReuseCluster < 0 {
+			continue
+		}
+		if t, ok := clusterStart[h.Cert.ReuseCluster]; ok {
+			h.Cert.NotBefore = t
+		} else {
+			clusterStart[h.Cert.ReuseCluster] = h.Cert.NotBefore
+		}
+	}
+	return nil
+}
+
+func dateIn(rng *rand.Rand, fromYear, toYear int) time.Time {
+	from := time.Date(fromYear, 1, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(toYear, 1, 1, 0, 0, 0, 0, time.UTC)
+	return from.Add(time.Duration(rng.Int63n(int64(to.Sub(from)))))
+}
+
+// assignManufacturers labels hosts. Bachmann owns the three same-
+// manufacturer reuse clusters (385+9+6 = 400 hosts) plus 6 singles;
+// SigmaPLC's 15 devices are all None-only (group A); the rest is
+// distributed round-robin.
+func assignManufacturers(hosts []HostSpec) {
+	assign := func(h *HostSpec, m *Manufacturer) {
+		h.Manufacturer = m.Name
+		h.AppURI = fmt.Sprintf("%s:%04x", m.URI, h.Index)
+		h.SoftwareVersion = fmt.Sprintf("%d.%d.%d", 1+h.Index%3, h.Index%10, h.Index%7)
+	}
+	var bachmann, sigma *Manufacturer
+	var others []*Manufacturer
+	for i := range manufacturerTable {
+		m := &manufacturerTable[i]
+		switch {
+		case m.Name == "Bachmann":
+			bachmann = m
+		case m.NoneOnly:
+			sigma = m
+		default:
+			others = append(others, m)
+		}
+	}
+	left := make(map[string]int, len(manufacturerTable))
+	for _, m := range manufacturerTable {
+		left[m.Name] = m.Count
+	}
+
+	// Bachmann: clusters 0, 3, 4 are the same-manufacturer reuse case.
+	for i := range hosts {
+		h := &hosts[i]
+		if c := h.Cert.ReuseCluster; c == 0 || c == 3 || c == 4 {
+			assign(h, bachmann)
+			left[bachmann.Name]--
+		}
+	}
+	// SigmaPLC: first 15 unassigned group-A hosts.
+	for i := range hosts {
+		h := &hosts[i]
+		if h.Manufacturer == "" && h.Group == "A" && left[sigma.Name] > 0 {
+			assign(h, sigma)
+			left[sigma.Name]--
+		}
+	}
+	// Remaining Bachmann singles, then round-robin over the others.
+	oi := 0
+	for i := range hosts {
+		h := &hosts[i]
+		if h.Manufacturer != "" {
+			continue
+		}
+		if left[bachmann.Name] > 0 {
+			assign(h, bachmann)
+			left[bachmann.Name]--
+			continue
+		}
+		for tries := 0; tries < len(others); tries++ {
+			m := others[oi%len(others)]
+			oi++
+			if left[m.Name] > 0 {
+				assign(h, m)
+				left[m.Name]--
+				break
+			}
+		}
+	}
+}
+
+// assignExposure draws per-host address-space sizes and anonymous access
+// fractions hitting the Figure 7 quantiles: 90% of hosts readable
+// >97%, 33% writable >10%, 61% of function hosts executable >86%.
+func assignExposure(hosts []HostSpec, rng *rand.Rand) {
+	var accessible []*HostSpec
+	for i := range hosts {
+		h := &hosts[i]
+		h.Exposure.Variables = 40 + rng.Intn(80)
+		h.Exposure.Methods = 5 + rng.Intn(10)
+		switch h.Outcome {
+		case AccessibleProduction, AccessibleTest, AccessibleUnclassified:
+			accessible = append(accessible, h)
+		default:
+			h.Exposure.ReadFrac = 0.5
+			h.Exposure.ExecFrac = 0.2
+		}
+	}
+	n := len(accessible)
+	for i, h := range accessible {
+		q := float64(i) / float64(n) // deterministic quantile position
+		// Readable: 90% of hosts read ≥97% of nodes.
+		if q < 0.90 {
+			h.Exposure.ReadFrac = 0.975 + 0.025*rng.Float64()
+		} else {
+			h.Exposure.ReadFrac = 0.2 + 0.7*rng.Float64()
+		}
+		// Writable: 33% of hosts write >10% of nodes. The traversal also
+		// sees the seven read-only standard server variables, so the
+		// lower bound is padded to survive that dilution.
+		if q < 0.33 {
+			h.Exposure.WriteFrac = 0.16 + 0.45*rng.Float64()
+		} else if q < 0.60 {
+			h.Exposure.WriteFrac = 0.07 * rng.Float64()
+		} else {
+			h.Exposure.WriteFrac = 0
+		}
+		// Executable: 61% of hosts may run ≥86% of functions; padded so
+		// integer rounding on small method counts stays above 0.86.
+		if q < 0.61 {
+			h.Exposure.ExecFrac = 0.93 + 0.07*rng.Float64()
+		} else {
+			h.Exposure.ExecFrac = 0.5 * rng.Float64()
+		}
+	}
+	// Interleave so quantile position does not correlate with group
+	// order: shuffle which accessible host got which quantile by
+	// swapping fractions pseudo-randomly.
+	rng.Shuffle(n, func(i, j int) {
+		accessible[i].Exposure.ReadFrac, accessible[j].Exposure.ReadFrac =
+			accessible[j].Exposure.ReadFrac, accessible[i].Exposure.ReadFrac
+		accessible[i].Exposure.WriteFrac, accessible[j].Exposure.WriteFrac =
+			accessible[j].Exposure.WriteFrac, accessible[i].Exposure.WriteFrac
+		accessible[i].Exposure.ExecFrac, accessible[j].Exposure.ExecFrac =
+			accessible[j].Exposure.ExecFrac, accessible[i].Exposure.ExecFrac
+	})
+}
+
+// assignPresence schedules host lifetimes: the reuse clusters grow from
+// 263 to 400 members (§5.5), other servers churn slightly so that the
+// per-wave found counts match serversFoundByWave, and 25 hidden hosts
+// are only reachable via references from wave 3 on.
+func assignPresence(hosts []HostSpec) error {
+	waves := len(WaveDates)
+	// Same-manufacturer cluster members (clusters 0, 3, 4) appear
+	// gradually.
+	var clusterHosts []*HostSpec
+	for i := range hosts {
+		h := &hosts[i]
+		if c := h.Cert.ReuseCluster; c == 0 || c == 3 || c == 4 {
+			clusterHosts = append(clusterHosts, h)
+		}
+	}
+	if len(clusterHosts) != reuseClusterPresence[waves-1] {
+		return fmt.Errorf("deploy: cluster hosts %d != target %d",
+			len(clusterHosts), reuseClusterPresence[waves-1])
+	}
+	for i, h := range clusterHosts {
+		h.PresentFrom = 0
+		for w := 0; w < waves; w++ {
+			if i < reuseClusterPresence[w] {
+				h.PresentFrom = w
+				break
+			}
+		}
+		// Presence counts are cumulative; find the first wave whose
+		// quota covers this member index.
+		for w := 0; w < waves; w++ {
+			if i < reuseClusterPresence[w] {
+				h.PresentFrom = w
+				break
+			}
+		}
+	}
+
+	// Hidden hosts: 25 non-cluster, non-A hosts get non-default ports /
+	// unscanned addresses; they are found from FollowReferencesFromWave.
+	hidden := 0
+	for i := range hosts {
+		h := &hosts[i]
+		if hidden >= hiddenServers {
+			break
+		}
+		if h.Cert.ReuseCluster >= 0 || h.Group == "A" || h.Outcome == RejectedSC {
+			continue
+		}
+		h.Hidden = true
+		hidden++
+	}
+	if hidden != hiddenServers {
+		return fmt.Errorf("deploy: placed %d hidden hosts", hidden)
+	}
+
+	// Remaining (visible, non-cluster) hosts: schedule joins/leaves so
+	// the number of present visible hosts per wave matches
+	// serversFoundByWave minus hidden (from wave 3) and cluster counts.
+	var rest []*HostSpec
+	for i := range hosts {
+		h := &hosts[i]
+		if h.Cert.ReuseCluster == 0 || h.Cert.ReuseCluster == 3 || h.Cert.ReuseCluster == 4 || h.Hidden {
+			continue
+		}
+		rest = append(rest, h)
+	}
+	// Target number of "rest" hosts present at each wave.
+	targets := make([]int, waves)
+	for w := 0; w < waves; w++ {
+		hiddenFound := 0
+		if w >= FollowReferencesFromWave {
+			hiddenFound = hiddenServers
+		}
+		targets[w] = serversFoundByWave[w] - hiddenFound - reuseClusterPresence[w]
+	}
+	// rest hosts: the first targets[last] stay until the end; earlier
+	// waves need fewer, so the tail of each wave's allocation joins
+	// later; when a target shrinks, hosts leave.
+	maxTarget := 0
+	for _, t := range targets {
+		if t > maxTarget {
+			if t > len(rest) {
+				return fmt.Errorf("deploy: wave target %d exceeds rest pool %d", t, len(rest))
+			}
+			maxTarget = t
+		}
+	}
+	// Assign PresentFrom/PresentUntil greedily: host j is present at
+	// wave w iff j < targets[w]. This makes presence monotone per host
+	// only if targets are monotone; for dips, hosts leave and rejoin,
+	// which we avoid by giving each host one contiguous interval:
+	// [firstWave with j < target, lastWave with j < target].
+	for j, h := range rest {
+		first, last := -1, -1
+		for w := 0; w < waves; w++ {
+			if j < targets[w] {
+				if first == -1 {
+					first = w
+				}
+				last = w
+			}
+		}
+		if first == -1 {
+			// Never present: park outside the campaign.
+			h.PresentFrom = waves
+			h.PresentUntil = waves
+			continue
+		}
+		h.PresentFrom = first
+		if last == waves-1 {
+			h.PresentUntil = -1
+		} else {
+			h.PresentUntil = last
+		}
+	}
+	return nil
+}
+
+// assignRenewals schedules the 84 certificate renewals of §5.5: all on
+// hosts present across the whole campaign with per-host certificates;
+// 7 upgrade SHA-1→SHA-256 (chosen among hosts whose final class is
+// SHA-256), 1 downgrades SHA-256→SHA-1, 9 coincide with software
+// updates.
+func assignRenewals(hosts []HostSpec, rng *rand.Rand) {
+	const renewals = 84
+	eligible := func(h *HostSpec) bool {
+		return h.Cert.ReuseCluster < 0 && !h.Hidden &&
+			h.PresentFrom == 0 && h.PresentUntil == -1 && h.Cert.RenewalWave == 0
+	}
+	done := 0
+	var scheduled []*HostSpec
+	schedule := func(h *HostSpec, prior CertClass, priorFrom, priorTo int) {
+		h.Cert.RenewalWave = 1 + done%7
+		h.Cert.PriorClass = prior
+		h.Cert.PriorNotBefore = dateIn(rng, priorFrom, priorTo)
+		scheduled = append(scheduled, h)
+		done++
+	}
+	accessible := func(h *HostSpec) bool {
+		switch h.Outcome {
+		case AccessibleProduction, AccessibleTest, AccessibleUnclassified:
+			return true
+		}
+		return false
+	}
+	// Pass 1: the seven SHA-1→SHA-256 upgrades (hosts whose final class
+	// is SHA-256) and the one SHA-256→SHA-1 downgrade.
+	upgrades, downgrades := 7, 1
+	for i := range hosts {
+		h := &hosts[i]
+		if !eligible(h) {
+			continue
+		}
+		if upgrades > 0 && h.Cert.Class.Hash == uacert.HashSHA256 && h.Group == "E" {
+			schedule(h, CertClass{uacert.HashSHA1, h.Cert.Class.Bits}, 2016, 2018)
+			upgrades--
+			continue
+		}
+		if downgrades > 0 && h.Cert.Class.Hash == uacert.HashSHA1 && h.Group == "C" {
+			schedule(h, CertClass{uacert.HashSHA256, h.Cert.Class.Bits}, 2018, 2019)
+			downgrades--
+		}
+		if upgrades == 0 && downgrades == 0 {
+			break
+		}
+	}
+	// Pass 2: same-class renewals (valid, self-signed, no security
+	// gain) until the 84 events of §5.5 are scheduled. Accessible hosts
+	// first: the software-update coincidences below are only observable
+	// on hosts whose SoftwareVersion the scanner can read.
+	for _, wantAccessible := range []bool{true, false} {
+		for i := range hosts {
+			if done >= renewals {
+				break
+			}
+			h := &hosts[i]
+			if !eligible(h) || h.Cert.Class.Hash != uacert.HashSHA1 ||
+				accessible(h) != wantAccessible {
+				continue
+			}
+			schedule(h, h.Cert.Class, 2015, 2018)
+		}
+	}
+	// Nine renewals coincide with a software update (§5.5); they must be
+	// on accessible hosts to be measurable.
+	swUpdates := 0
+	for _, h := range scheduled {
+		if swUpdates >= 9 {
+			break
+		}
+		if accessible(h) {
+			h.Cert.SoftwareUpdate = true
+			swUpdates++
+		}
+	}
+}
+
+// Address layout: each AS owns one /16 inside 100.64.0.0/10 (CGNAT
+// space, guaranteed not to collide with real scanning targets).
+const (
+	numASes     = 40
+	asnBase     = 64600
+	prefixBase  = "100.64.0.0"
+	iiotISP     = asnBase + 38 // the (I)IoT ISP of §B.1.2
+	regionalISP = asnBase + 39
+)
+
+// assignAddresses places hosts into ASes and assigns IPs. Reuse-cluster
+// hosts spread across the cluster's AS count (the big one covers 24
+// ASes); other hosts hash into ASes with the IIoT ISP and one regional
+// ISP overweighted (§B.1.2).
+func assignAddresses(hosts []HostSpec) {
+	nextIPInAS := make(map[int]uint32)
+	takeIP := func(asn int) netip.Addr {
+		nextIPInAS[asn]++
+		off := nextIPInAS[asn]
+		asIdx := asn - asnBase
+		base := netip.MustParseAddr(prefixBase).As4()
+		v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+		v += uint32(asIdx)<<16 + off
+		return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	}
+	clusterIdx := make(map[int]int)
+	for i := range hosts {
+		h := &hosts[i]
+		switch {
+		case h.Cert.ReuseCluster >= 0:
+			c := reuseClusters[h.Cert.ReuseCluster]
+			k := clusterIdx[h.Cert.ReuseCluster]
+			clusterIdx[h.Cert.ReuseCluster]++
+			// Spread cluster members over the cluster's AS budget, with
+			// a bias to the IIoT ISP for the big cluster (§B.1.2).
+			if h.Cert.ReuseCluster == 0 {
+				// 24 ASes total: the IIoT ISP takes every fourth member,
+				// the rest spread over 23 further ASes (§B.1.2).
+				if k%4 == 0 {
+					h.ASN = iiotISP
+				} else {
+					h.ASN = asnBase + k%(c.ases-1)
+				}
+			} else {
+				h.ASN = asnBase + k%c.ases
+			}
+		case h.Group == "C" || h.Group == "E":
+			// Deprecated+anonymous populations cluster in two regional
+			// ISPs (§B.1.2).
+			if h.Index%3 == 0 {
+				h.ASN = regionalISP
+			} else {
+				h.ASN = asnBase + (h.Index*7)%int(numASes-2)
+			}
+		default:
+			h.ASN = asnBase + (h.Index*13)%int(numASes-2)
+		}
+		h.Port = 4840
+		if h.Hidden {
+			// Non-default ports for most hidden hosts; the rest live on
+			// addresses outside the scanned universe.
+			if h.Index%5 != 0 {
+				h.Port = 4841 + h.Index%3
+			}
+		}
+		h.IP = takeIP(h.ASN)
+		if h.Hidden && h.Port == 4840 {
+			// Outside the universe: use the reserved last /16 block.
+			h.IP = netip.AddrFrom4([4]byte{100, 127, 255, byte(h.Index % 250)})
+		}
+	}
+}
+
+// buildDiscovery creates the discovery-server population with per-wave
+// presence matching discoveryByWave; hidden servers are spread over the
+// first discovery servers so follow-reference scanning finds them.
+func buildDiscovery(hosts []HostSpec) []DiscoverySpec {
+	waves := len(WaveDates)
+	maxCount := 0
+	for _, c := range discoveryByWave {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var hiddenIdx []int
+	for i := range hosts {
+		if hosts[i].Hidden {
+			hiddenIdx = append(hiddenIdx, i)
+		}
+	}
+	specs := make([]DiscoverySpec, maxCount)
+	for i := range specs {
+		asn := asnBase + (i*3)%numASes
+		specs[i] = DiscoverySpec{
+			Index:   i,
+			IP:      netip.AddrFrom4([4]byte{100, 64 + byte((asn-asnBase)%40), 250, byte(i % 250)}),
+			ASN:     asn,
+			AppURI:  fmt.Sprintf("urn:opcfoundation.org:UA:LDS:%04x", i),
+			Present: make([]bool, waves),
+		}
+		// Adjust IP to live inside the AS block but above host ranges.
+		base := netip.MustParseAddr(prefixBase).As4()
+		v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+		v += uint32((asn-asnBase))<<16 + 0xF000 + uint32(i)
+		specs[i].IP = netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+		for w := 0; w < waves; w++ {
+			specs[i].Present[w] = i < discoveryByWave[w]
+		}
+	}
+	// Spread hidden-server announcements across always-present
+	// discovery servers.
+	alwaysPresent := discoveryByWave[0]
+	for k, hi := range hiddenIdx {
+		d := k % min(alwaysPresent, len(specs))
+		specs[d].Announces = append(specs[d].Announces, hi)
+	}
+	return specs
+}

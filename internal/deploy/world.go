@@ -1,0 +1,411 @@
+package deploy
+
+import (
+	"crypto/rsa"
+	"fmt"
+	mrand "math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/addrspace"
+	"repro/internal/simnet"
+	"repro/internal/uacert"
+	"repro/internal/uamsg"
+	"repro/internal/uapolicy"
+	"repro/internal/uaserver"
+)
+
+// Options tunes world materialization.
+type Options struct {
+	// NoiseProb is the probability that an unregistered universe address
+	// has TCP 4840 open without OPC UA. The paper finds only 0.5‰ of
+	// open ports speak OPC UA; the simulated universe is smaller than
+	// the IPv4 space, so the default 0.01 preserves "almost all open
+	// ports are not OPC UA" at a tractable scale (see DESIGN.md).
+	NoiseProb float64
+	// Latency delays dials.
+	Latency time.Duration
+	// TestKeySizes replaces all RSA key sizes with 512 bits to make
+	// test-scale materialization fast. Certificate key-length analysis
+	// is then meaningless; only the pipeline plumbing is exercised.
+	TestKeySizes bool
+	// MaxHosts truncates the population (0 = all); used by tests and
+	// examples that only need a small world.
+	MaxHosts int
+}
+
+// World is the materialized simulated Internet.
+type World struct {
+	Spec *Spec
+	Net  *simnet.Network
+	Keys *uacert.KeyPool
+
+	hosts     []*worldHost
+	discovery []*worldDiscovery
+	wave      int
+}
+
+type worldHost struct {
+	spec   *HostSpec
+	key    *rsa.PrivateKey
+	cert   *uacert.Certificate // final certificate
+	prior  *uacert.Certificate // pre-renewal certificate, if any
+	space  *addrspace.Space
+	server map[string]*uaserver.Server // keyed by cert thumbprint
+}
+
+type worldDiscovery struct {
+	spec   *DiscoverySpec
+	server *uaserver.Server
+}
+
+// BuildUniverse returns the scannable address space: one /16 per AS.
+func BuildUniverse() (*simnet.Universe, error) {
+	prefixes := make([]simnet.Prefix, 0, numASes)
+	for i := 0; i < numASes; i++ {
+		p, err := simnet.NewPrefix(fmt.Sprintf("100.%d.0.0", 64+i), 16)
+		if err != nil {
+			return nil, err
+		}
+		prefixes = append(prefixes, p)
+	}
+	return simnet.NewUniverse(prefixes...), nil
+}
+
+// Materialize builds the network, keys, certificates and servers.
+func Materialize(spec *Spec, opts Options) (*World, error) {
+	if opts.NoiseProb == 0 {
+		opts.NoiseProb = 0.01
+	}
+	u, err := BuildUniverse()
+	if err != nil {
+		return nil, err
+	}
+	nw := simnet.New(u)
+	nw.SetNoise(opts.NoiseProb)
+	nw.SetLatency(opts.Latency)
+
+	w := &World{Spec: spec, Net: nw, Keys: uacert.NewKeyPool(), wave: -1}
+
+	hostSpecs := spec.Hosts
+	if opts.MaxHosts > 0 && opts.MaxHosts < len(hostSpecs) {
+		hostSpecs = hostSpecs[:opts.MaxHosts]
+	}
+
+	bits := func(class CertClass) int {
+		if opts.TestKeySizes {
+			return 512
+		}
+		return class.Bits
+	}
+
+	// Count and prewarm keys: one per reuse cluster, one per single.
+	need := map[int]int{}
+	for i := range hostSpecs {
+		h := &hostSpecs[i]
+		if h.Cert.ReuseCluster < 0 {
+			need[bits(h.Cert.Class)]++
+		}
+	}
+	clusterBits := map[int]int{}
+	for ci, c := range reuseClusters {
+		clusterBits[ci] = bits(c.class)
+		need[bits(c.class)]++
+	}
+	need[bits(CertClass{Bits: 2048})] += 2 // discovery + scanner reserve
+	for b, n := range need {
+		w.Keys.Prewarm(b, n)
+	}
+
+	// Cluster keys and certificates (shared; the cert subject names the
+	// manufacturer, §5.3).
+	next := map[int]int{}
+	takeKey := func(b int) *rsa.PrivateKey {
+		k := w.Keys.Key(b, next[b])
+		next[b]++
+		return k
+	}
+	clusterKey := map[int]*rsa.PrivateKey{}
+	clusterCert := map[int]*uacert.Certificate{}
+	for ci, c := range reuseClusters {
+		key := takeKey(clusterBits[ci])
+		clusterKey[ci] = key
+		// Find a member for naming and NotBefore.
+		var member *HostSpec
+		for i := range hostSpecs {
+			if hostSpecs[i].Cert.ReuseCluster == ci {
+				member = &hostSpecs[i]
+				break
+			}
+		}
+		if member == nil {
+			continue // truncated world
+		}
+		cert, err := uacert.Generate(key, uacert.Options{
+			CommonName:     member.Manufacturer + " factory image",
+			Organization:   member.Manufacturer,
+			ApplicationURI: member.AppURI,
+			SignatureHash:  c.class.Hash,
+			NotBefore:      member.Cert.NotBefore,
+			NotAfter:       member.Cert.NotBefore.AddDate(20, 0, 0),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("deploy: cluster %d cert: %w", ci, err)
+		}
+		clusterCert[ci] = cert
+	}
+
+	rng := mrand.New(mrand.NewSource(spec.Seed ^ 0x5EED))
+	for i := range hostSpecs {
+		hs := &hostSpecs[i]
+		wh := &worldHost{spec: hs, server: make(map[string]*uaserver.Server)}
+		if ci := hs.Cert.ReuseCluster; ci >= 0 {
+			wh.key = clusterKey[ci]
+			wh.cert = clusterCert[ci]
+		} else {
+			wh.key = takeKey(bits(hs.Cert.Class))
+			cert, err := uacert.Generate(wh.key, uacert.Options{
+				CommonName:     fmt.Sprintf("%s device %04x", hs.Manufacturer, hs.Index),
+				Organization:   hs.Manufacturer,
+				ApplicationURI: hs.AppURI,
+				SignatureHash:  hs.Cert.Class.Hash,
+				NotBefore:      hs.Cert.NotBefore,
+				NotAfter:       hs.Cert.NotBefore.AddDate(20, 0, 0),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("deploy: host %d cert: %w", hs.Index, err)
+			}
+			wh.cert = cert
+			if hs.Cert.RenewalWave > 0 {
+				prior, err := uacert.Generate(wh.key, uacert.Options{
+					CommonName:     fmt.Sprintf("%s device %04x", hs.Manufacturer, hs.Index),
+					Organization:   hs.Manufacturer,
+					ApplicationURI: hs.AppURI,
+					SignatureHash:  hs.Cert.PriorClass.Hash,
+					NotBefore:      hs.Cert.PriorNotBefore,
+					NotAfter:       hs.Cert.PriorNotBefore.AddDate(20, 0, 0),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("deploy: host %d prior cert: %w", hs.Index, err)
+				}
+				wh.prior = prior
+			}
+		}
+		wh.space, err = buildSpace(hs, rng)
+		if err != nil {
+			return nil, err
+		}
+		w.hosts = append(w.hosts, wh)
+	}
+
+	// Discovery servers share a handful of reference-implementation
+	// identities; they are excluded from the security analysis.
+	discoKey := takeKey(bits(CertClass{Bits: 2048}))
+	discoCert, err := uacert.Generate(discoKey, uacert.Options{
+		CommonName:     "UA Local Discovery Server",
+		Organization:   "OPC Foundation",
+		ApplicationURI: "urn:opcfoundation.org:UA:LDS",
+		SignatureHash:  uacert.HashSHA256,
+		NotBefore:      time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deploy: discovery cert: %w", err)
+	}
+	for i := range spec.Discovery {
+		ds := &spec.Discovery[i]
+		var known []uamsg.ApplicationDescription
+		for _, hi := range ds.Announces {
+			if hi >= len(hostSpecs) {
+				continue
+			}
+			hh := &hostSpecs[hi]
+			known = append(known, uamsg.ApplicationDescription{
+				ApplicationURI:  hh.AppURI,
+				ApplicationType: uamsg.ApplicationServer,
+				DiscoveryURLs: []string{
+					fmt.Sprintf("opc.tcp://%s:%d", hh.IP, hh.Port),
+				},
+			})
+		}
+		srv, err := uaserver.New(uaserver.Config{
+			ApplicationURI:  ds.AppURI,
+			ProductURI:      "urn:opcfoundation.org:UA:LDS",
+			ApplicationName: "UA Local Discovery Server",
+			SoftwareVersion: "1.03",
+			EndpointURL:     fmt.Sprintf("opc.tcp://%s:4840", ds.IP),
+			Endpoints: []uaserver.EndpointConfig{{
+				Policy: uapolicy.None,
+				Modes:  []uamsg.MessageSecurityMode{uamsg.SecurityModeNone},
+			}},
+			Key:          discoKey,
+			CertDER:      discoCert.Raw,
+			Discovery:    true,
+			KnownServers: known,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("deploy: discovery server %d: %w", i, err)
+		}
+		w.discovery = append(w.discovery, &worldDiscovery{spec: ds, server: srv})
+	}
+	return w, nil
+}
+
+// buildSpace creates a host's address space from its spec.
+func buildSpace(hs *HostSpec, rng *mrand.Rand) (*addrspace.Space, error) {
+	space := addrspace.New(hs.AppURI, hs.SoftwareVersion)
+	_, err := addrspace.Populate(space, addrspace.BuildOptions{
+		Profile:            hs.Profile,
+		Variables:          hs.Exposure.Variables,
+		Methods:            hs.Exposure.Methods,
+		AnonReadableFrac:   hs.Exposure.ReadFrac,
+		AnonWritableFrac:   hs.Exposure.WriteFrac,
+		AnonExecutableFrac: hs.Exposure.ExecFrac,
+		Rand:               rng,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deploy: space for host %d: %w", hs.Index, err)
+	}
+	return space, nil
+}
+
+// certAt returns the certificate valid at the wave.
+func (wh *worldHost) certAt(wave int) *uacert.Certificate {
+	if wh.prior != nil && wave < wh.spec.Cert.RenewalWave {
+		return wh.prior
+	}
+	return wh.cert
+}
+
+func (wh *worldHost) softwareVersionAt(wave int) string {
+	v := wh.spec.SoftwareVersion
+	if wh.spec.Cert.SoftwareUpdate && wh.spec.Cert.RenewalWave > 0 &&
+		wave >= wh.spec.Cert.RenewalWave {
+		return v + ".1"
+	}
+	return v
+}
+
+// serverAt builds (or reuses) the server matching the host's wave state.
+func (wh *worldHost) serverAt(wave int) (*uaserver.Server, error) {
+	cert := wh.certAt(wave)
+	cacheKey := cert.ThumbprintHex() + wh.softwareVersionAt(wave)
+	if srv, ok := wh.server[cacheKey]; ok {
+		return srv, nil
+	}
+	hs := wh.spec
+	var endpoints []uaserver.EndpointConfig
+	var modes []uamsg.MessageSecurityMode
+	if hs.Modes.Has(ModeS) {
+		modes = append(modes, uamsg.SecurityModeSign)
+	}
+	if hs.Modes.Has(ModeE) {
+		modes = append(modes, uamsg.SecurityModeSignAndEncrypt)
+	}
+	for _, abbrev := range hs.Policies {
+		pol, ok := uapolicy.LookupAbbrev(abbrev)
+		if !ok {
+			return nil, fmt.Errorf("deploy: unknown policy %q", abbrev)
+		}
+		if pol.Insecure {
+			endpoints = append(endpoints, uaserver.EndpointConfig{
+				Policy: pol,
+				Modes:  []uamsg.MessageSecurityMode{uamsg.SecurityModeNone},
+			})
+			continue
+		}
+		endpoints = append(endpoints, uaserver.EndpointConfig{Policy: pol, Modes: modes})
+	}
+	space := wh.space
+	if wh.spec.Cert.SoftwareUpdate {
+		// Rebuild so the SoftwareVersion node reflects the update.
+		var err error
+		space, err = buildSpaceWithVersion(hs, wh.softwareVersionAt(wave))
+		if err != nil {
+			return nil, err
+		}
+	}
+	srv, err := uaserver.New(uaserver.Config{
+		ApplicationURI:  hs.AppURI,
+		ProductURI:      hs.AppURI,
+		ApplicationName: hs.Manufacturer,
+		SoftwareVersion: wh.softwareVersionAt(wave),
+		EndpointURL:     fmt.Sprintf("opc.tcp://%s:%d", hs.IP, hs.Port),
+		Endpoints:       endpoints,
+		TokenTypes:      hs.Tokens,
+		Users:           map[string]string{"operator": fmt.Sprintf("pw-%04x", hs.Index)},
+		Key:             wh.key,
+		CertDER:         cert.Raw,
+		Space:           space,
+		Quirks: uaserver.Quirks{
+			RejectClientCert: hs.RejectClientCert,
+			RejectSessions:   hs.RejectSessions,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deploy: server for host %d: %w", hs.Index, err)
+	}
+	wh.server[cacheKey] = srv
+	return srv, nil
+}
+
+func buildSpaceWithVersion(hs *HostSpec, version string) (*addrspace.Space, error) {
+	rng := mrand.New(mrand.NewSource(int64(hs.Index)))
+	space := addrspace.New(hs.AppURI, version)
+	_, err := addrspace.Populate(space, addrspace.BuildOptions{
+		Profile:            hs.Profile,
+		Variables:          hs.Exposure.Variables,
+		Methods:            hs.Exposure.Methods,
+		AnonReadableFrac:   hs.Exposure.ReadFrac,
+		AnonWritableFrac:   hs.Exposure.WriteFrac,
+		AnonExecutableFrac: hs.Exposure.ExecFrac,
+		Rand:               rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return space, nil
+}
+
+// ApplyWave registers the hosts present at the wave and removes the
+// rest. It must be called with increasing wave indexes.
+func (w *World) ApplyWave(wave int) error {
+	if wave < 0 || wave >= len(WaveDates) {
+		return fmt.Errorf("deploy: wave %d out of range", wave)
+	}
+	for _, wh := range w.hosts {
+		ip := netip.Addr(wh.spec.IP)
+		if wh.spec.PresentAt(wave) {
+			srv, err := wh.serverAt(wave)
+			if err != nil {
+				return err
+			}
+			w.Net.Register(ip, wh.spec.Port, wh.spec.ASN, srv)
+		} else {
+			w.Net.Unregister(ip, wh.spec.Port)
+		}
+	}
+	for _, wd := range w.discovery {
+		if wave < len(wd.spec.Present) && wd.spec.Present[wave] {
+			w.Net.Register(wd.spec.IP, 4840, wd.spec.ASN, wd.server)
+		} else {
+			w.Net.Unregister(wd.spec.IP, 4840)
+		}
+	}
+	w.wave = wave
+	return nil
+}
+
+// CurrentWave returns the last applied wave index (-1 before the first).
+func (w *World) CurrentWave() int { return w.wave }
+
+// HostCert returns the certificate a host serves at the wave; nil if the
+// host index is out of the materialized range.
+func (w *World) HostCert(index, wave int) *uacert.Certificate {
+	if index < 0 || index >= len(w.hosts) {
+		return nil
+	}
+	return w.hosts[index].certAt(wave)
+}
+
+// ASOf exposes the AS mapping for analysis.
+func (w *World) ASOf(ip netip.Addr) int { return w.Net.ASOf(ip) }

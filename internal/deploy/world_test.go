@@ -1,0 +1,212 @@
+package deploy
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/uaclient"
+)
+
+// materializeSmall builds a truncated test world with small keys.
+func materializeSmall(t *testing.T, maxHosts int) *World {
+	t.Helper()
+	spec := buildSpec(t)
+	w, err := Materialize(spec, Options{
+		TestKeySizes: true,
+		MaxHosts:     maxHosts,
+		NoiseProb:    0.0001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestMaterializeAndApplyWave(t *testing.T) {
+	w := materializeSmall(t, 60)
+	if err := w.ApplyWave(0); err != nil {
+		t.Fatal(err)
+	}
+	if w.CurrentWave() != 0 {
+		t.Errorf("wave = %d", w.CurrentWave())
+	}
+	// Hosts present at wave 0 must be dialable and speak OPC UA.
+	var spec *HostSpec
+	for i := range w.Spec.Hosts[:60] {
+		h := &w.Spec.Hosts[i]
+		if h.PresentAt(0) && !h.Hidden {
+			spec = h
+			break
+		}
+	}
+	if spec == nil {
+		t.Fatal("no present host in truncated world")
+	}
+	addr := spec.IP.String() + ":4840"
+	c, err := uaclient.Dial(context.Background(), "opc.tcp://"+addr, uaclient.Options{
+		Dialer:  w.Net,
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.OpenInsecureChannel(); err != nil {
+		t.Fatal(err)
+	}
+	eps, err := c.GetEndpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) == 0 {
+		t.Error("no endpoints advertised")
+	}
+	if eps[0].Server.ApplicationURI != spec.AppURI {
+		t.Errorf("application URI = %q, want %q", eps[0].Server.ApplicationURI, spec.AppURI)
+	}
+	// Endpoint policies must match the spec's policy set size.
+	policySet := map[string]bool{}
+	for _, ep := range eps {
+		policySet[ep.SecurityPolicyURI] = true
+	}
+	if len(policySet) != len(spec.Policies) {
+		t.Errorf("advertised %d policies, spec has %d (%v)", len(policySet), len(spec.Policies), spec.Policies)
+	}
+}
+
+func TestApplyWavePresenceChanges(t *testing.T) {
+	w := materializeSmall(t, 120)
+	// Find a host that joins later (cluster members with PresentFrom>0).
+	var late *HostSpec
+	for i := range w.Spec.Hosts[:120] {
+		h := &w.Spec.Hosts[i]
+		if h.PresentFrom > 0 && h.PresentFrom < len(WaveDates) {
+			late = h
+			break
+		}
+	}
+	if late == nil {
+		t.Skip("no late joiner in truncated world")
+	}
+	if err := w.ApplyWave(0); err != nil {
+		t.Fatal(err)
+	}
+	if w.Net.OpenPort(late.IP, late.Port) {
+		t.Errorf("host %d present before PresentFrom %d", late.Index, late.PresentFrom)
+	}
+	if err := w.ApplyWave(late.PresentFrom); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Net.OpenPort(late.IP, late.Port) {
+		t.Errorf("host %d absent at its PresentFrom wave", late.Index)
+	}
+}
+
+func TestCertRenewalChangesThumbprint(t *testing.T) {
+	spec := buildSpec(t)
+	// Materialize enough hosts to include a renewal host.
+	var renewal *HostSpec
+	for i := range spec.Hosts {
+		if spec.Hosts[i].Cert.RenewalWave > 0 {
+			renewal = &spec.Hosts[i]
+			break
+		}
+	}
+	if renewal == nil {
+		t.Fatal("no renewal host in spec")
+	}
+	w, err := Materialize(spec, Options{
+		TestKeySizes: true,
+		MaxHosts:     renewal.Index + 1,
+		NoiseProb:    0.0001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := w.HostCert(renewal.Index, renewal.Cert.RenewalWave-1)
+	after := w.HostCert(renewal.Index, renewal.Cert.RenewalWave)
+	if before == nil || after == nil {
+		t.Fatal("missing certificates")
+	}
+	if before.ThumbprintHex() == after.ThumbprintHex() {
+		t.Error("renewal did not change the certificate")
+	}
+	if before.PublicKey.N.Cmp(after.PublicKey.N) != 0 {
+		t.Error("renewal should keep the key")
+	}
+	if w.HostCert(-1, 0) != nil || w.HostCert(1<<20, 0) != nil {
+		t.Error("out-of-range host index should return nil")
+	}
+}
+
+func TestClusterHostsShareCertificate(t *testing.T) {
+	spec := buildSpec(t)
+	// Cluster 2 lives in group A (indexes < 270), so a truncated world
+	// contains whole clusters.
+	var members []int
+	for i := range spec.Hosts[:270] {
+		if spec.Hosts[i].Cert.ReuseCluster == 2 {
+			members = append(members, i)
+		}
+	}
+	if len(members) != 12 {
+		t.Fatalf("cluster 2 members in group A = %d", len(members))
+	}
+	w, err := Materialize(spec, Options{
+		TestKeySizes: true,
+		MaxHosts:     270,
+		NoiseProb:    0.0001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thumb := w.HostCert(members[0], 7).ThumbprintHex()
+	for _, m := range members[1:] {
+		if w.HostCert(m, 7).ThumbprintHex() != thumb {
+			t.Errorf("cluster member %d has a different certificate", m)
+		}
+	}
+	// A non-member must differ.
+	for i := range spec.Hosts[:270] {
+		if spec.Hosts[i].Cert.ReuseCluster == -1 {
+			if w.HostCert(i, 7).ThumbprintHex() == thumb {
+				t.Errorf("single host %d shares the cluster certificate", i)
+			}
+			break
+		}
+	}
+}
+
+func TestBuildUniverseCoversHostAddresses(t *testing.T) {
+	spec := buildSpec(t)
+	u, err := BuildUniverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range spec.Hosts {
+		h := &spec.Hosts[i]
+		inUniverse := u.Contains(h.IP)
+		if h.Hidden && h.Port == 4840 && inUniverse {
+			t.Errorf("hidden default-port host %d inside scanned universe", h.Index)
+		}
+		if !h.Hidden && !inUniverse {
+			t.Errorf("visible host %d outside universe (%s)", h.Index, h.IP)
+		}
+	}
+	for _, d := range spec.Discovery {
+		if !u.Contains(d.IP) {
+			t.Errorf("discovery server %d outside universe (%s)", d.Index, d.IP)
+		}
+	}
+}
+
+func TestApplyWaveValidation(t *testing.T) {
+	w := materializeSmall(t, 10)
+	if err := w.ApplyWave(-1); err == nil {
+		t.Error("negative wave accepted")
+	}
+	if err := w.ApplyWave(len(WaveDates)); err == nil {
+		t.Error("out-of-range wave accepted")
+	}
+}

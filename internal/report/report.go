@@ -1,0 +1,428 @@
+// Package report renders the analysis results as the tables and figure
+// series of the paper, in plain text and CSV. Each figure/table of the
+// evaluation has one renderer; cmd/measure and cmd/reportgen print them,
+// and EXPERIMENTS.md records their output next to the paper's numbers.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/uapolicy"
+)
+
+// Table is a renderable grid.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteString("\n")
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if w := widths[i] - len(c); w > 0 {
+				b.WriteString(strings.Repeat(" ", w))
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// CSV formats the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	write := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	write(t.Header)
+	for _, row := range t.Rows {
+		write(row)
+	}
+	return b.String()
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func pct(n, total int) string {
+	if total == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(n)/float64(total))
+}
+
+// Table1 renders the security-policy cipher table.
+func Table1() *Table {
+	t := &Table{
+		Title:  "Table 1: OPC UA security policies (insecure and deprecated policies marked)",
+		Header: []string{"Policy", "Sig. Hash", "Cert. Hash", "Key Len. [bit]", "A", "Status"},
+	}
+	for _, p := range uapolicy.All() {
+		sig, cert, keys := "—", "—", "—"
+		if !p.Insecure {
+			sig = p.SignatureHash.String()
+			var hs []string
+			for _, h := range p.CertHashes {
+				hs = append(hs, h.String())
+			}
+			cert = strings.Join(hs, ", ")
+			keys = fmt.Sprintf("[%d; %d]", p.MinKeyBits, p.MaxKeyBits)
+		}
+		status := "recommended"
+		if p.Insecure {
+			status = "insecure"
+		} else if p.Deprecated {
+			status = "deprecated"
+		}
+		t.Rows = append(t.Rows, []string{p.Name, sig, cert, keys, p.Abbrev, status})
+	}
+	return t
+}
+
+// Figure2 renders hosts over time by manufacturer.
+func Figure2(waves []*core.WaveAnalysis) *Table {
+	t := &Table{
+		Title: "Figure 2: OPC UA hosts found per measurement, by manufacturer",
+		Header: []string{"Measurement", "Total", "Discovery", "Servers",
+			"Bachmann", "Beckhoff", "Wago", "other", "follow-refs", "non-default port"},
+	}
+	for _, w := range waves {
+		other := len(w.Servers) - w.ByVendor["Bachmann"] - w.ByVendor["Beckhoff"] - w.ByVendor["Wago"]
+		t.Rows = append(t.Rows, []string{
+			w.Date.Format("2006-01-02"),
+			itoa(len(w.Records)),
+			itoa(w.Discovery),
+			itoa(len(w.Servers)),
+			itoa(w.ByVendor["Bachmann"]),
+			itoa(w.ByVendor["Beckhoff"]),
+			itoa(w.ByVendor["Wago"]),
+			itoa(other),
+			itoa(w.ViaCounts["follow-reference"]),
+			itoa(w.NonDefault),
+		})
+	}
+	return t
+}
+
+// Figure3 renders security mode and policy support/least/most counts.
+func Figure3(w *core.WaveAnalysis) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 3: security modes and policies (%d servers)", len(w.Servers)),
+		Header: []string{"Option", "Supported", "Least secure", "Most secure"},
+	}
+	for _, m := range []string{"None", "Sign", "SignAndEncrypt"} {
+		t.Rows = append(t.Rows, []string{
+			"mode " + m, itoa(w.ModeSupport[m]), itoa(w.ModeLeast[m]), itoa(w.ModeMost[m]),
+		})
+	}
+	for _, p := range uapolicy.All() {
+		t.Rows = append(t.Rows, []string{
+			"policy " + p.Abbrev + " (" + p.Name + ")",
+			itoa(w.PolicySupport[p.Abbrev]),
+			itoa(w.PolicyLeast[p.Abbrev]),
+			itoa(w.PolicyMost[p.Abbrev]),
+		})
+	}
+	n := len(w.Servers)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("servers with no security at all: %d (%s)", w.NoneOnly, pct(w.NoneOnly, n)),
+		fmt.Sprintf("servers whose best policy is deprecated: %d (%s)", w.DeprecatedBest, pct(w.DeprecatedBest, n)),
+		fmt.Sprintf("servers enforcing secure policies: %d (%.1f%%)", w.EnforceSecure, 100*float64(w.EnforceSecure)/float64(max(n, 1))),
+	)
+	return t
+}
+
+// Figure4 renders certificate conformance per announced policy.
+func Figure4(w *core.WaveAnalysis) *Table {
+	t := &Table{
+		Title:  "Figure 4: certificates implementing announced policies (hash/key-length conformance)",
+		Header: []string{"Policy", "Certs", "Conformant", "Too weak", "Too strong", "Hash/keylen breakdown"},
+	}
+	for _, p := range uapolicy.All() {
+		conf := w.Conformance[p.Abbrev]
+		matrix := w.CertMatrix[p.Abbrev]
+		total := conf[uapolicy.CertConformant] + conf[uapolicy.CertTooWeak] + conf[uapolicy.CertTooStrong]
+		var keys []string
+		for k := range matrix {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s:%d", k, matrix[k]))
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Abbrev, itoa(total),
+			itoa(conf[uapolicy.CertConformant]),
+			itoa(conf[uapolicy.CertTooWeak]),
+			itoa(conf[uapolicy.CertTooStrong]),
+			strings.Join(parts, " "),
+		})
+	}
+	return t
+}
+
+// Figure5 renders certificate reuse clusters.
+func Figure5(w *core.WaveAnalysis) *Table {
+	t := &Table{
+		Title:  "Figure 5: certificates reused across hosts (>= 3 hosts)",
+		Header: []string{"Certificate", "Hosts", "ASes", "Subject organization"},
+	}
+	clusters := w.ReuseClustersAtLeast(3)
+	for i, c := range clusters {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("#%d (%s…)", i+1, c.Thumbprint[:12]),
+			itoa(c.Hosts), itoa(c.ASes), c.SubjectOrg,
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d certificates on >=3 hosts", len(clusters)),
+		fmt.Sprintf("weak-key findings (batch GCD over all moduli): %d", w.WeakKeyFindings),
+	)
+	return t
+}
+
+// Figure6 renders the authentication overview.
+func Figure6(w *core.WaveAnalysis) *Table {
+	n := len(w.Servers)
+	t := &Table{
+		Title:  "Figure 6: authentication methods, accessibility and classification",
+		Header: []string{"Metric", "Hosts", "Share"},
+	}
+	rows := [][2]interface{}{
+		{"servers total", n},
+		{"anonymous access advertised", w.Anonymous},
+		{"anonymous + secure channel ok", w.AnonSCOK},
+		{"publicly accessible (session ok)", w.Accessible},
+		{"rejected our client certificate", w.RejectedSC},
+	}
+	for _, r := range rows {
+		v := r[1].(int)
+		t.Rows = append(t.Rows, []string{r[0].(string), itoa(v), pct(v, n)})
+	}
+	return t
+}
+
+// Figure7 renders the exposure survival functions at the paper's
+// headline thresholds.
+func Figure7(w *core.WaveAnalysis) *Table {
+	read, write, exec := w.ExposureCDFs()
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 7: anonymous address-space exposure on %d accessible hosts", read.Len()),
+		Header: []string{"Access", "Threshold (frac. of nodes)", "Frac. of hosts above"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"Readable", ">0.97", fmt.Sprintf("%.2f", read.Survival(0.97))},
+		[]string{"Writable", ">0.10", fmt.Sprintf("%.2f", write.Survival(0.10))},
+		[]string{"Executable", ">0.86", fmt.Sprintf("%.2f", exec.Survival(0.86))},
+	)
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.90} {
+		t.Rows = append(t.Rows, []string{
+			"read/write/exec quantile", fmt.Sprintf("q=%.2f", q),
+			fmt.Sprintf("%.2f / %.2f / %.2f",
+				read.Quantile(q), write.Quantile(q), exec.Quantile(q)),
+		})
+	}
+	return t
+}
+
+// Table2 renders the authentication matrix.
+func Table2(w *core.WaveAnalysis) *Table {
+	t := &Table{
+		Title: "Table 2: authentication types vs. accessibility",
+		Header: []string{"anon", "cred", "cert", "token",
+			"Production", "Test", "Unclassified", "Rej. auth", "Rej. SC", "Total"},
+	}
+	var combos []string
+	for k := range w.AuthMatrix {
+		combos = append(combos, k)
+	}
+	sort.Slice(combos, func(i, j int) bool {
+		return w.AuthMatrix[combos[i]].Total() > w.AuthMatrix[combos[j]].Total()
+	})
+	mark := func(c *core.AuthCell, name string) string {
+		for _, tk := range c.Tokens {
+			if tk == name {
+				return "x"
+			}
+		}
+		return ""
+	}
+	var tot core.AuthCell
+	for _, combo := range combos {
+		c := w.AuthMatrix[combo]
+		t.Rows = append(t.Rows, []string{
+			mark(c, "Anonymous"), mark(c, "UserName"), mark(c, "Certificate"), mark(c, "IssuedToken"),
+			itoa(c.Production), itoa(c.Test), itoa(c.Unclassified),
+			itoa(c.RejectedAuth), itoa(c.RejectedSC), itoa(c.Total()),
+		})
+		tot.Production += c.Production
+		tot.Test += c.Test
+		tot.Unclassified += c.Unclassified
+		tot.RejectedAuth += c.RejectedAuth
+		tot.RejectedSC += c.RejectedSC
+	}
+	t.Rows = append(t.Rows, []string{"", "", "", "total",
+		itoa(tot.Production), itoa(tot.Test), itoa(tot.Unclassified),
+		itoa(tot.RejectedAuth), itoa(tot.RejectedSC), itoa(tot.Total()),
+	})
+	return t
+}
+
+// Figure8 renders deficit classes split by manufacturer or AS.
+func Figure8(w *core.WaveAnalysis, byAS bool) *Table {
+	title := "Figure 8a: configuration deficits by manufacturer"
+	if byAS {
+		title = "Figure 8b: configuration deficits by autonomous system"
+	}
+	t := &Table{
+		Title:  title,
+		Header: []string{"Deficit", "Hosts", "Top groups"},
+	}
+	for _, d := range core.Deficits() {
+		var parts []string
+		if byAS {
+			type kv struct {
+				asn int
+				n   int
+			}
+			var list []kv
+			for asn, n := range w.DeficitByAS[d] {
+				list = append(list, kv{asn, n})
+			}
+			sort.Slice(list, func(i, j int) bool {
+				if list[i].n != list[j].n {
+					return list[i].n > list[j].n
+				}
+				return list[i].asn < list[j].asn
+			})
+			for i, e := range list {
+				if i >= 5 {
+					parts = append(parts, fmt.Sprintf("+%d more", len(list)-5))
+					break
+				}
+				parts = append(parts, fmt.Sprintf("AS%d:%d", e.asn, e.n))
+			}
+		} else {
+			type kv struct {
+				name string
+				n    int
+			}
+			var list []kv
+			for name, n := range w.DeficitByVendor[d] {
+				list = append(list, kv{name, n})
+			}
+			sort.Slice(list, func(i, j int) bool {
+				if list[i].n != list[j].n {
+					return list[i].n > list[j].n
+				}
+				return list[i].name < list[j].name
+			})
+			for i, e := range list {
+				if i >= 5 {
+					parts = append(parts, fmt.Sprintf("+%d more", len(list)-5))
+					break
+				}
+				parts = append(parts, fmt.Sprintf("%s:%d", e.name, e.n))
+			}
+		}
+		t.Rows = append(t.Rows, []string{d.String(), itoa(w.DeficitTotals[d]), strings.Join(parts, " ")})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("deficient servers overall: %d (%.0f%%)",
+		w.Deficient, 100*w.DeficientFrac))
+	return t
+}
+
+// Section55 renders the longitudinal findings.
+func Section55(l *core.Longitudinal) *Table {
+	t := &Table{
+		Title:  "Section 5.5: longitudinal analysis",
+		Header: []string{"Metric", "Value"},
+	}
+	add := func(k, v string) { t.Rows = append(t.Rows, []string{k, v}) }
+	add("measurements", itoa(len(l.Waves)))
+	add("deficient share mean", fmt.Sprintf("%.1f%%", 100*l.DeficientSummary.Mean))
+	add("deficient share std", fmt.Sprintf("%.1f%%", 100*l.DeficientSummary.Std))
+	add("deficient share min/max", fmt.Sprintf("%.1f%% / %.1f%%",
+		100*l.DeficientSummary.Min, 100*l.DeficientSummary.Max))
+	add("certificate renewals (static addresses)", itoa(len(l.Renewals)))
+	add("renewals with software update", itoa(l.SoftwareUpdates))
+	add("renewals upgrading SHA-1 to SHA-256", itoa(l.UpgradedSHA1))
+	add("renewals downgrading to SHA-1", itoa(l.Downgraded))
+	add("distinct certificates over campaign", itoa(l.TotalCerts))
+	add("SHA-1 certificates", itoa(l.SHA1Certs))
+	add("SHA-1 certs created after 2017 deprecation", itoa(l.SHA1Post2017))
+	add("SHA-1 certs created since 2019", itoa(l.SHA1Post2019))
+	var growth []string
+	for _, n := range l.ReuseGrowth {
+		growth = append(growth, itoa(n))
+	}
+	add("same-manufacturer reused-cert devices per wave", strings.Join(growth, " "))
+	return t
+}
+
+// All renders every figure/table for a campaign.
+func All(waves []*core.WaveAnalysis, l *core.Longitudinal) []*Table {
+	last := waves[len(waves)-1]
+	return []*Table{
+		Table1(),
+		Figure2(waves),
+		Figure3(last),
+		Figure4(last),
+		Figure5(last),
+		Figure6(last),
+		Figure7(last),
+		Table2(last),
+		Figure8(last, false),
+		Figure8(last, true),
+		Section55(l),
+	}
+}

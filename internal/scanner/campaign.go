@@ -1,0 +1,115 @@
+package scanner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// WaveConfig controls one weekly measurement.
+type WaveConfig struct {
+	// Date labels the wave (the paper scans 2020-02-09 … 2020-08-30).
+	Date time.Time
+	// FollowReferences enables scanning host/port combinations announced
+	// by other servers; the paper added this on 2020-05-04.
+	FollowReferences bool
+	// MaxFollowDepth bounds transitive reference following.
+	MaxFollowDepth int
+	// GrabWorkers parallelizes the application-layer stage.
+	GrabWorkers int
+	PortScan    PortScanConfig
+}
+
+// Wave is the outcome of one measurement run.
+type Wave struct {
+	Date    time.Time
+	Results []*Result
+	// OpenPorts is the number of addresses with TCP 4840 open (most are
+	// not OPC UA).
+	OpenPorts int
+	Duration  time.Duration
+}
+
+// RunWave executes a full measurement: port scan, grab, follow-ups.
+func RunWave(ctx context.Context, nw *simnet.Network, sc *Scanner, cfg WaveConfig) (*Wave, error) {
+	start := time.Now()
+	if cfg.GrabWorkers <= 0 {
+		cfg.GrabWorkers = 32
+	}
+	if cfg.MaxFollowDepth <= 0 {
+		cfg.MaxFollowDepth = 2
+	}
+	open, err := PortScan(ctx, nw, cfg.PortScan)
+	if err != nil {
+		return nil, fmt.Errorf("scanner: port scan: %w", err)
+	}
+	wave := &Wave{Date: cfg.Date, OpenPorts: len(open)}
+
+	port := cfg.PortScan.Port
+	if port == 0 {
+		port = 4840
+	}
+	targets := make([]Target, 0, len(open))
+	for _, addr := range open {
+		targets = append(targets, Target{
+			Address: fmt.Sprintf("%s:%d", addr, port),
+			Via:     ViaPortScan,
+		})
+	}
+
+	seen := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		seen[t.Address] = true
+	}
+
+	for depth := 0; len(targets) > 0 && depth <= cfg.MaxFollowDepth; depth++ {
+		results := grabAll(ctx, sc, targets, cfg.GrabWorkers)
+		wave.Results = append(wave.Results, results...)
+		targets = nil
+		if !cfg.FollowReferences {
+			break
+		}
+		for _, res := range results {
+			for _, addr := range res.FollowUp {
+				if seen[addr] {
+					continue
+				}
+				seen[addr] = true
+				targets = append(targets, Target{Address: addr, Via: ViaReference})
+			}
+		}
+	}
+	wave.Duration = time.Since(start)
+	return wave, ctx.Err()
+}
+
+func grabAll(ctx context.Context, sc *Scanner, targets []Target, workers int) []*Result {
+	results := make([]*Result, len(targets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = sc.Grab(ctx, t)
+		}(i, t)
+	}
+	wg.Wait()
+	return results
+}
+
+// OPCUAResults filters a wave down to hosts that actually speak OPC UA.
+func (w *Wave) OPCUAResults() []*Result {
+	var out []*Result
+	for _, r := range w.Results {
+		if r.ReachedOPCUA {
+			out = append(out, r)
+		}
+	}
+	return out
+}

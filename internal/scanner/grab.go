@@ -1,0 +1,432 @@
+package scanner
+
+import (
+	"context"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/uaclient"
+	"repro/internal/uamsg"
+	"repro/internal/uapolicy"
+	"repro/internal/uastatus"
+	"repro/internal/uatypes"
+)
+
+// Via records how a target entered the scan queue (Figure 2 legend).
+type Via string
+
+// Target discovery channels.
+const (
+	ViaPortScan  Via = "portscan"
+	ViaReference Via = "follow-reference"
+)
+
+// Target is one host:port to grab.
+type Target struct {
+	Address string // "ip:port"
+	Via     Via
+}
+
+// EndpointInfo is the security-relevant projection of one advertised
+// endpoint description.
+type EndpointInfo struct {
+	URL               string
+	SecurityMode      uamsg.MessageSecurityMode
+	SecurityPolicyURI string
+	TokenTypes        []uamsg.UserTokenType
+}
+
+// SecureChannelResult records the outcome of the secure-channel attempt
+// with the scanner's self-signed certificate (§4).
+type SecureChannelResult struct {
+	Attempted    bool
+	PolicyURI    string
+	Mode         uamsg.MessageSecurityMode
+	OK           bool
+	CertRejected bool // server answered BadSecurityChecksFailed
+	Error        string
+}
+
+// SessionResult records the anonymous-session attempt.
+type SessionResult struct {
+	Offered   bool // anonymous advertised in any token policy
+	Attempted bool
+	OK        bool
+	Error     string
+}
+
+// NodeRecord is one traversed node's access profile.
+type NodeRecord struct {
+	ID          string
+	Class       string
+	DisplayName string
+	Readable    bool
+	Writable    bool
+	Executable  bool
+	ValueSample string // dropped by the dataset anonymizer
+}
+
+// NodeStats aggregates traversal access rights (Figure 7 input).
+type NodeStats struct {
+	Variables  int
+	Readable   int
+	Writable   int
+	Methods    int
+	Executable int
+}
+
+// Result is the complete grab of one target, the unit of the dataset.
+type Result struct {
+	Address string
+	Via     Via
+	Time    time.Time
+
+	// ReachedOPCUA distinguishes real OPC UA servers from port-4840
+	// noise (only 0.5‰ of open ports speak OPC UA per the paper).
+	ReachedOPCUA bool
+	Error        string
+
+	ApplicationURI  string
+	ProductURI      string
+	ApplicationType uamsg.ApplicationType
+	SoftwareVersion string
+
+	Endpoints     []EndpointInfo
+	ServerCertDER []byte
+
+	SecureChannel SecureChannelResult
+	Session       SessionResult
+
+	Namespaces []string
+	Nodes      []NodeRecord
+	NodeStats  NodeStats
+
+	// FollowUp lists host:port addresses advertised by this server that
+	// differ from the scanned address (endpoint URLs and discovery
+	// references). The campaign scans them in the same wave (from
+	// 2020-05-04 onward, per Figure 2).
+	FollowUp []string
+
+	BytesTransferred int64
+	Duration         time.Duration
+}
+
+// Scanner grabs OPC UA metadata from targets.
+type Scanner struct {
+	// Dialer connects to targets (the simulated network or a real one).
+	Dialer uaclient.Dialer
+	// Key and CertDER are the scanner's self-signed client identity used
+	// for secure-channel attempts.
+	Key     *rsa.PrivateKey
+	CertDER []byte
+	// Timeout bounds each connection.
+	Timeout time.Duration
+	// Walk configures traversal politeness.
+	Walk uaclient.WalkOptions
+	// ApplicationURI identifies the scanner (the paper advertises contact
+	// information here).
+	ApplicationURI string
+}
+
+func (s *Scanner) opts() uaclient.Options {
+	return uaclient.Options{
+		Dialer:          s.Dialer,
+		Timeout:         s.Timeout,
+		ApplicationURI:  s.ApplicationURI,
+		ApplicationName: "research scanner; see https://example.org/opcua-study",
+	}
+}
+
+// Grab scans one target completely.
+func (s *Scanner) Grab(ctx context.Context, target Target) *Result {
+	start := time.Now()
+	res := &Result{Address: target.Address, Via: target.Via, Time: start}
+	defer func() { res.Duration = time.Since(start) }()
+
+	url := "opc.tcp://" + target.Address
+
+	// Step 1: endpoint discovery over an insecure channel.
+	c, err := uaclient.Dial(ctx, url, s.opts())
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	eps, err := func() ([]uamsg.EndpointDescription, error) {
+		defer c.Close()
+		if err := c.OpenInsecureChannel(); err != nil {
+			return nil, err
+		}
+		return c.GetEndpoints()
+	}()
+	if err != nil {
+		res.Error = fmt.Sprintf("get endpoints: %v", err)
+		return res
+	}
+	res.ReachedOPCUA = true
+	s.recordEndpoints(res, target.Address, eps)
+
+	// Step 2: discovery references (FindServers) for follow-ups.
+	s.followDiscovery(ctx, url, res)
+
+	// Step 3: secure-channel attempt with our self-signed certificate
+	// whenever Sign or SignAndEncrypt is offered.
+	policy, mode := strongestSecure(res.Endpoints)
+	if policy != nil {
+		s.attemptSecureChannel(ctx, url, res, policy, mode)
+	}
+
+	// Step 4: anonymous session and address-space traversal.
+	res.Session.Offered = anonymousOffered(res.Endpoints)
+	if res.Session.Offered {
+		s.attemptAnonymous(ctx, url, res)
+	}
+	return res
+}
+
+func (s *Scanner) recordEndpoints(res *Result, scanned string, eps []uamsg.EndpointDescription) {
+	seenFollow := map[string]bool{}
+	for _, ep := range eps {
+		info := EndpointInfo{
+			URL:               ep.EndpointURL,
+			SecurityMode:      ep.SecurityMode,
+			SecurityPolicyURI: ep.SecurityPolicyURI,
+		}
+		for _, tp := range ep.UserIdentityTokens {
+			info.TokenTypes = append(info.TokenTypes, tp.TokenType)
+		}
+		res.Endpoints = append(res.Endpoints, info)
+		if len(ep.ServerCertificate) > 0 && res.ServerCertDER == nil {
+			res.ServerCertDER = ep.ServerCertificate
+		}
+		if res.ApplicationURI == "" {
+			res.ApplicationURI = ep.Server.ApplicationURI
+			res.ProductURI = ep.Server.ProductURI
+			res.ApplicationType = ep.Server.ApplicationType
+		}
+		if addr, err := uaclient.EndpointAddress(ep.EndpointURL); err == nil &&
+			addr != scanned && !seenFollow[addr] {
+			seenFollow[addr] = true
+			res.FollowUp = append(res.FollowUp, addr)
+		}
+	}
+}
+
+func (s *Scanner) followDiscovery(ctx context.Context, url string, res *Result) {
+	c, err := uaclient.Dial(ctx, url, s.opts())
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	if err := c.OpenInsecureChannel(); err != nil {
+		return
+	}
+	servers, err := c.FindServers()
+	if err != nil {
+		return
+	}
+	scanned, _ := uaclient.EndpointAddress(url)
+	seen := map[string]bool{}
+	for _, f := range res.FollowUp {
+		seen[f] = true
+	}
+	for _, srv := range servers {
+		for _, durl := range srv.DiscoveryURLs {
+			if addr, err := uaclient.EndpointAddress(durl); err == nil &&
+				addr != scanned && !seen[addr] {
+				seen[addr] = true
+				res.FollowUp = append(res.FollowUp, addr)
+			}
+		}
+	}
+	r, w := c.BytesTransferred()
+	res.BytesTransferred += r + w
+}
+
+// strongestSecure picks the highest-ranked secure (policy, mode) pair.
+func strongestSecure(eps []EndpointInfo) (*uapolicy.Policy, uamsg.MessageSecurityMode) {
+	var best *uapolicy.Policy
+	var bestMode uamsg.MessageSecurityMode
+	for _, ep := range eps {
+		if ep.SecurityMode != uamsg.SecurityModeSign &&
+			ep.SecurityMode != uamsg.SecurityModeSignAndEncrypt {
+			continue
+		}
+		p, ok := uapolicy.Lookup(ep.SecurityPolicyURI)
+		if !ok || p.Insecure {
+			continue
+		}
+		better := best == nil || p.Rank > best.Rank ||
+			(p.Rank == best.Rank && ep.SecurityMode > bestMode)
+		if better {
+			best, bestMode = p, ep.SecurityMode
+		}
+	}
+	return best, bestMode
+}
+
+func anonymousOffered(eps []EndpointInfo) bool {
+	for _, ep := range eps {
+		for _, tt := range ep.TokenTypes {
+			if tt == uamsg.UserTokenAnonymous {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *Scanner) attemptSecureChannel(ctx context.Context, url string, res *Result,
+	policy *uapolicy.Policy, mode uamsg.MessageSecurityMode) {
+	res.SecureChannel = SecureChannelResult{
+		Attempted: true,
+		PolicyURI: policy.URI,
+		Mode:      mode,
+	}
+	c, err := uaclient.Dial(ctx, url, s.opts())
+	if err != nil {
+		res.SecureChannel.Error = err.Error()
+		return
+	}
+	defer c.Close()
+	err = c.OpenChannel(uaclient.ChannelSecurity{
+		Policy:        policy,
+		Mode:          mode,
+		LocalKey:      s.Key,
+		LocalCertDER:  s.CertDER,
+		RemoteCertDER: res.ServerCertDER,
+	})
+	if err != nil {
+		res.SecureChannel.Error = err.Error()
+		var ce uamsg.ConnError
+		if errors.As(err, &ce) && ce.Code == uastatus.BadSecurityChecksFailed {
+			res.SecureChannel.CertRejected = true
+		}
+		return
+	}
+	res.SecureChannel.OK = true
+	r, w := c.BytesTransferred()
+	res.BytesTransferred += r + w
+}
+
+// channelForSession picks the channel security for the anonymous session:
+// None if offered, otherwise the weakest secure endpoint (the scanner
+// minimizes load on constrained devices).
+func channelForSession(eps []EndpointInfo) (*uapolicy.Policy, uamsg.MessageSecurityMode) {
+	var weakest *uapolicy.Policy
+	var weakestMode uamsg.MessageSecurityMode
+	for _, ep := range eps {
+		p, ok := uapolicy.Lookup(ep.SecurityPolicyURI)
+		if !ok {
+			continue
+		}
+		if ep.SecurityMode == uamsg.SecurityModeNone {
+			return uapolicy.None, uamsg.SecurityModeNone
+		}
+		if weakest == nil || p.Rank < weakest.Rank {
+			weakest, weakestMode = p, ep.SecurityMode
+		}
+	}
+	if weakest == nil {
+		return uapolicy.None, uamsg.SecurityModeNone
+	}
+	return weakest, weakestMode
+}
+
+func (s *Scanner) attemptAnonymous(ctx context.Context, url string, res *Result) {
+	res.Session.Attempted = true
+	c, err := uaclient.Dial(ctx, url, s.opts())
+	if err != nil {
+		res.Session.Error = err.Error()
+		return
+	}
+	defer c.Close()
+	policy, mode := channelForSession(res.Endpoints)
+	sec := uaclient.ChannelSecurity{Policy: policy, Mode: mode}
+	if !policy.Insecure {
+		sec.LocalKey = s.Key
+		sec.LocalCertDER = s.CertDER
+		sec.RemoteCertDER = res.ServerCertDER
+	}
+	if err := c.OpenChannel(sec); err != nil {
+		res.Session.Error = err.Error()
+		return
+	}
+	if err := c.CreateSession(uaclient.AnonymousIdentity()); err != nil {
+		res.Session.Error = err.Error()
+		return
+	}
+	res.Session.OK = true
+
+	if ver, err := c.SoftwareVersion(); err == nil {
+		res.SoftwareVersion = ver
+	}
+	walk, err := c.Walk(ctx, s.Walk)
+	if err == nil {
+		res.Namespaces = walk.Namespaces
+		for _, n := range walk.Nodes {
+			rec := NodeRecord{
+				ID:          n.ID.String(),
+				Class:       n.Class.String(),
+				DisplayName: n.DisplayName,
+			}
+			switch n.Class {
+			case uamsg.NodeClassVariable:
+				rec.Readable = n.UserAccessLevel.CanRead()
+				rec.Writable = n.UserAccessLevel.CanWrite()
+				res.NodeStats.Variables++
+				if rec.Readable {
+					res.NodeStats.Readable++
+				}
+				if rec.Writable {
+					res.NodeStats.Writable++
+				}
+			case uamsg.NodeClassMethod:
+				rec.Executable = n.UserExecutable
+				res.NodeStats.Methods++
+				if rec.Executable {
+					res.NodeStats.Executable++
+				}
+			}
+			if n.Value != nil {
+				rec.ValueSample = sampleValue(*n.Value)
+			}
+			res.Nodes = append(res.Nodes, rec)
+		}
+	}
+	_ = c.CloseSession()
+	r, w := c.BytesTransferred()
+	res.BytesTransferred += r + w
+}
+
+func sampleValue(v uatypes.Variant) string {
+	s := v.String()
+	if len(s) > 64 {
+		s = s[:64]
+	}
+	return s
+}
+
+// SupportsAnonymous reports whether the result advertises anonymous
+// authentication (Figure 6).
+func (r *Result) SupportsAnonymous() bool { return r.Session.Offered }
+
+// PolicySet returns the distinct advertised policy URIs, sorted.
+func (r *Result) PolicySet() []string {
+	set := map[string]bool{}
+	for _, ep := range r.Endpoints {
+		set[ep.SecurityPolicyURI] = true
+	}
+	out := make([]string, 0, len(set))
+	for uri := range set {
+		out = append(out, uri)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostKey normalizes the address for cross-wave identity ("ip:port").
+func (r *Result) HostKey() string { return strings.TrimSpace(r.Address) }

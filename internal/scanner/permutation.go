@@ -1,0 +1,82 @@
+// Package scanner implements the measurement instrument of the study:
+// a zmap-style randomized port scan over the simulated IPv4 universe, a
+// zgrab2-style application-layer grab module for OPC UA, and the weekly
+// campaign orchestration with follow-up targets (endpoints on other
+// hosts/ports, discovery-server references).
+package scanner
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/bits"
+)
+
+// Permutation is a bijection over [0, N) used to visit scan targets in a
+// pseudorandom order, like zmap's cyclic-group iteration: probes spread
+// across the whole address space so no network sees a burst
+// (Appendix A.2 "rely on zmap's address randomization").
+//
+// The implementation is a 4-round Feistel network over the smallest even
+// bit-width covering N, with cycle-walking to stay inside [0, N).
+type Permutation struct {
+	n        uint64
+	halfBits uint
+	halfMask uint64
+	seed     uint64
+}
+
+// NewPermutation builds a permutation of [0, n) from a seed.
+func NewPermutation(n uint64, seed uint64) *Permutation {
+	if n == 0 {
+		return &Permutation{n: 0}
+	}
+	width := uint(bits.Len64(n - 1))
+	if width == 0 {
+		width = 1
+	}
+	if width%2 == 1 {
+		width++
+	}
+	return &Permutation{
+		n:        n,
+		halfBits: width / 2,
+		halfMask: (1 << (width / 2)) - 1,
+		seed:     seed,
+	}
+}
+
+func (p *Permutation) round(half uint64, round uint) uint64 {
+	var buf [17]byte
+	binary.LittleEndian.PutUint64(buf[0:], half)
+	binary.LittleEndian.PutUint64(buf[8:], p.seed)
+	buf[16] = byte(round)
+	h := fnv.New64a()
+	h.Write(buf[:])
+	return h.Sum64() & p.halfMask
+}
+
+func (p *Permutation) feistel(x uint64) uint64 {
+	l := x >> p.halfBits
+	r := x & p.halfMask
+	for round := uint(0); round < 4; round++ {
+		l, r = r, l^p.round(r, round)
+	}
+	return l<<p.halfBits | r
+}
+
+// At maps index i to its permuted position. i must be < N.
+func (p *Permutation) At(i uint64) uint64 {
+	if p.n == 0 {
+		return 0
+	}
+	x := p.feistel(i)
+	// Cycle-walk until the value lands inside [0, n). Termination is
+	// guaranteed because feistel is a bijection on the covering domain.
+	for x >= p.n {
+		x = p.feistel(x)
+	}
+	return x
+}
+
+// Size returns N.
+func (p *Permutation) Size() uint64 { return p.n }

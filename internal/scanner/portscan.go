@@ -1,0 +1,86 @@
+package scanner
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// PortScanConfig tunes the zmap-style discovery stage.
+type PortScanConfig struct {
+	Port int
+	// Rate limits probes per second; zero means unlimited (the simulated
+	// network has no operators to bother, but the limiter is exercised
+	// in tests because the real study depends on it).
+	Rate    int
+	Workers int
+	Seed    uint64
+}
+
+// PortScan probes every address of the network's universe on the given
+// port in permuted order and returns the responsive addresses.
+func PortScan(ctx context.Context, nw *simnet.Network, cfg PortScanConfig) ([]netip.Addr, error) {
+	if cfg.Port == 0 {
+		cfg.Port = 4840
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 64
+	}
+	u := nw.Universe()
+	perm := NewPermutation(u.Size(), cfg.Seed)
+
+	var limiter *time.Ticker
+	if cfg.Rate > 0 {
+		limiter = time.NewTicker(time.Second / time.Duration(cfg.Rate))
+		defer limiter.Stop()
+	}
+
+	indexes := make(chan uint64, cfg.Workers*2)
+	results := make(chan netip.Addr, cfg.Workers*2)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				addr, err := u.AddrAt(perm.At(i))
+				if err != nil {
+					continue
+				}
+				if nw.OpenPort(addr, cfg.Port) {
+					results <- addr
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(indexes)
+		for i := uint64(0); i < u.Size(); i++ {
+			if limiter != nil {
+				select {
+				case <-ctx.Done():
+					return
+				case <-limiter.C:
+				}
+			} else if ctx.Err() != nil {
+				return
+			}
+			indexes <- i
+		}
+	}()
+	done := make(chan struct{})
+	var open []netip.Addr
+	go func() {
+		defer close(done)
+		for addr := range results {
+			open = append(open, addr)
+		}
+	}()
+	wg.Wait()
+	close(results)
+	<-done
+	return open, ctx.Err()
+}

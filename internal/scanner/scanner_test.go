@@ -1,0 +1,500 @@
+package scanner
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/rsa"
+	mrand "math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/addrspace"
+	"repro/internal/simnet"
+	"repro/internal/uacert"
+	"repro/internal/uaclient"
+	"repro/internal/uamsg"
+	"repro/internal/uapolicy"
+	"repro/internal/uaserver"
+)
+
+func TestPermutationIsBijective(t *testing.T) {
+	for _, n := range []uint64{1, 2, 7, 100, 1000, 4096} {
+		p := NewPermutation(n, 12345)
+		seen := make(map[uint64]bool, n)
+		for i := uint64(0); i < n; i++ {
+			v := p.At(i)
+			if v >= n {
+				t.Fatalf("n=%d: At(%d) = %d out of range", n, i, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d: duplicate value %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermutationQuickBijection(t *testing.T) {
+	f := func(seed uint64, small uint16) bool {
+		n := uint64(small%2000) + 1
+		p := NewPermutation(n, seed)
+		seen := make(map[uint64]bool, n)
+		for i := uint64(0); i < n; i++ {
+			v := p.At(i)
+			if v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationSpreadsProbes(t *testing.T) {
+	// zmap's point: consecutive indexes should not map to consecutive
+	// addresses. Check that the first 100 outputs are not sorted runs.
+	p := NewPermutation(1<<16, 99)
+	ascending := 0
+	prev := p.At(0)
+	for i := uint64(1); i < 100; i++ {
+		v := p.At(i)
+		if v == prev+1 {
+			ascending++
+		}
+		prev = v
+	}
+	if ascending > 5 {
+		t.Errorf("%d consecutive outputs, permutation too sequential", ascending)
+	}
+	if NewPermutation(0, 1).At(0) != 0 || NewPermutation(0, 1).Size() != 0 {
+		t.Error("empty permutation mishandled")
+	}
+}
+
+var (
+	scanIDOnce sync.Once
+	scanKey    *rsa.PrivateKey
+	scanCert   *uacert.Certificate
+)
+
+func scannerIdentity(t testing.TB) (*rsa.PrivateKey, *uacert.Certificate) {
+	t.Helper()
+	scanIDOnce.Do(func() {
+		var err error
+		if scanKey, err = rsa.GenerateKey(rand.Reader, 512); err != nil {
+			t.Fatal(err)
+		}
+		if scanCert, err = uacert.Generate(scanKey, uacert.Options{
+			CommonName:     "research scanner",
+			ApplicationURI: "urn:repro:scanner",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return scanKey, scanCert
+}
+
+// buildWorld assembles a miniature Internet: two OPC UA servers (one
+// with anonymous access, one discovery) plus noise.
+func buildWorld(t *testing.T) (*simnet.Network, map[string]string) {
+	t.Helper()
+	prefix, err := simnet.NewPrefix("192.0.2.0", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := simnet.New(simnet.NewUniverse(prefix))
+	nw.SetNoise(0.05)
+
+	key, err := rsa.GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := uacert.Generate(key, uacert.Options{
+		CommonName: "plc", ApplicationURI: "urn:vendor:plc:1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	space := addrspace.New("urn:vendor:plc:1", "1.4.2")
+	if _, err := addrspace.Populate(space, addrspace.BuildOptions{
+		Profile:          addrspace.ProfileProduction,
+		Variables:        10,
+		Methods:          3,
+		AnonReadableFrac: 1.0, AnonWritableFrac: 0.3, AnonExecutableFrac: 1.0,
+		Rand: mrand.New(mrand.NewSource(7)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	plcIP := netip.MustParseAddr("192.0.2.10")
+	plc, err := uaserver.New(uaserver.Config{
+		ApplicationURI:  "urn:vendor:plc:1",
+		SoftwareVersion: "1.4.2",
+		EndpointURL:     "opc.tcp://192.0.2.10:4840",
+		Endpoints: []uaserver.EndpointConfig{
+			{Policy: uapolicy.None, Modes: []uamsg.MessageSecurityMode{uamsg.SecurityModeNone}},
+			{Policy: uapolicy.Basic256Sha256, Modes: []uamsg.MessageSecurityMode{
+				uamsg.SecurityModeSign, uamsg.SecurityModeSignAndEncrypt}},
+		},
+		TokenTypes: []uamsg.UserTokenType{uamsg.UserTokenAnonymous, uamsg.UserTokenUserName},
+		Key:        key, CertDER: cert.Raw,
+		Space: space,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Register(plcIP, 4840, 65010, plc)
+
+	// Hidden server on a non-default port, announced by the discovery
+	// server below (the paper's follow-reference targets).
+	hidden, err := uaserver.New(uaserver.Config{
+		ApplicationURI: "urn:vendor:hidden:9",
+		EndpointURL:    "opc.tcp://192.0.2.20:4841",
+		Endpoints: []uaserver.EndpointConfig{
+			{Policy: uapolicy.None, Modes: []uamsg.MessageSecurityMode{uamsg.SecurityModeNone}},
+		},
+		Key: key, CertDER: cert.Raw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Register(netip.MustParseAddr("192.0.2.20"), 4841, 65011, hidden)
+
+	disco, err := uaserver.New(uaserver.Config{
+		ApplicationURI: "urn:opcfoundation:lds:42",
+		EndpointURL:    "opc.tcp://192.0.2.30:4840",
+		Endpoints: []uaserver.EndpointConfig{
+			{Policy: uapolicy.None, Modes: []uamsg.MessageSecurityMode{uamsg.SecurityModeNone}},
+		},
+		Discovery: true,
+		KnownServers: []uamsg.ApplicationDescription{{
+			ApplicationURI: "urn:vendor:hidden:9",
+			DiscoveryURLs:  []string{"opc.tcp://192.0.2.20:4841"},
+		}},
+		Key: key, CertDER: cert.Raw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Register(netip.MustParseAddr("192.0.2.30"), 4840, 65012, disco)
+
+	return nw, map[string]string{
+		"plc":    "192.0.2.10:4840",
+		"hidden": "192.0.2.20:4841",
+		"disco":  "192.0.2.30:4840",
+	}
+}
+
+func newScanner(t *testing.T, nw *simnet.Network) *Scanner {
+	t.Helper()
+	key, cert := scannerIdentity(t)
+	return &Scanner{
+		Dialer:         nw,
+		Key:            key,
+		CertDER:        cert.Raw,
+		Timeout:        5 * time.Second,
+		Walk:           uaclient.WalkOptions{MaxNodes: 500},
+		ApplicationURI: "urn:repro:scanner",
+	}
+}
+
+func TestPortScanFindsServersAndNoise(t *testing.T) {
+	nw, _ := buildWorld(t)
+	open, err := PortScan(context.Background(), nw, PortScanConfig{Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, a := range open {
+		found[a.String()] = true
+	}
+	// Registered port-4840 hosts must be found; the hidden server on
+	// 4841 must not (it is discovered via references instead).
+	if !found["192.0.2.10"] || !found["192.0.2.30"] {
+		t.Errorf("servers missing from scan: %v", found)
+	}
+	if found["192.0.2.20"] {
+		t.Error("non-default-port host found by default-port scan")
+	}
+	// Noise hosts (~5% of 256) should appear too.
+	if len(open) < 5 {
+		t.Errorf("open ports = %d, expected noise", len(open))
+	}
+}
+
+func TestPortScanRateLimit(t *testing.T) {
+	prefix, _ := simnet.NewPrefix("192.0.2.0", 28) // 16 addresses
+	nw := simnet.New(simnet.NewUniverse(prefix))
+	start := time.Now()
+	if _, err := PortScan(context.Background(), nw, PortScanConfig{Rate: 200, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("16 probes at 200/s took %v, limiter not applied", elapsed)
+	}
+}
+
+func TestGrabFullServer(t *testing.T) {
+	nw, addrs := buildWorld(t)
+	sc := newScanner(t, nw)
+	res := sc.Grab(context.Background(), Target{Address: addrs["plc"], Via: ViaPortScan})
+
+	if !res.ReachedOPCUA {
+		t.Fatalf("grab failed: %s", res.Error)
+	}
+	if res.ApplicationURI != "urn:vendor:plc:1" {
+		t.Errorf("application URI = %q", res.ApplicationURI)
+	}
+	if len(res.Endpoints) != 3 {
+		t.Errorf("endpoints = %d", len(res.Endpoints))
+	}
+	if res.ServerCertDER == nil {
+		t.Error("no server certificate captured")
+	}
+	if !res.SecureChannel.Attempted || !res.SecureChannel.OK {
+		t.Errorf("secure channel = %+v", res.SecureChannel)
+	}
+	if res.SecureChannel.PolicyURI != uapolicy.URIBasic256Sha256 ||
+		res.SecureChannel.Mode != uamsg.SecurityModeSignAndEncrypt {
+		t.Errorf("secure channel chose %s/%v", res.SecureChannel.PolicyURI, res.SecureChannel.Mode)
+	}
+	if !res.Session.Offered || !res.Session.OK {
+		t.Errorf("session = %+v", res.Session)
+	}
+	if res.SoftwareVersion != "1.4.2" {
+		t.Errorf("software version = %q", res.SoftwareVersion)
+	}
+	if res.NodeStats.Variables < 10 || res.NodeStats.Methods != 3 {
+		t.Errorf("node stats = %+v", res.NodeStats)
+	}
+	if res.NodeStats.Readable < 10 || res.NodeStats.Executable != 3 {
+		t.Errorf("node stats = %+v", res.NodeStats)
+	}
+	if res.NodeStats.Writable == 0 || res.NodeStats.Writable >= res.NodeStats.Variables {
+		t.Errorf("writable = %d", res.NodeStats.Writable)
+	}
+	if addrspace.Classify(res.Namespaces) != addrspace.Production {
+		t.Errorf("namespaces = %v", res.Namespaces)
+	}
+	if res.BytesTransferred == 0 || res.Duration <= 0 {
+		t.Error("transfer accounting missing")
+	}
+}
+
+func TestGrabNoiseHostIsNotOPCUA(t *testing.T) {
+	nw, _ := buildWorld(t)
+	nw.SetNoise(1.0)
+	sc := newScanner(t, nw)
+	res := sc.Grab(context.Background(), Target{Address: "192.0.2.99:4840", Via: ViaPortScan})
+	if res.ReachedOPCUA {
+		t.Error("noise host classified as OPC UA")
+	}
+	if res.Error == "" {
+		t.Error("expected an error description")
+	}
+}
+
+func TestGrabClosedPort(t *testing.T) {
+	nw, _ := buildWorld(t)
+	sc := newScanner(t, nw)
+	res := sc.Grab(context.Background(), Target{Address: "192.0.2.123:4840", Via: ViaPortScan})
+	if res.ReachedOPCUA || res.Error == "" {
+		t.Errorf("closed port grab = %+v", res)
+	}
+}
+
+func TestRunWaveWithFollowReferences(t *testing.T) {
+	nw, addrs := buildWorld(t)
+	sc := newScanner(t, nw)
+	wave, err := RunWave(context.Background(), nw, sc, WaveConfig{
+		Date:             time.Date(2020, 5, 4, 0, 0, 0, 0, time.UTC),
+		FollowReferences: true,
+		GrabWorkers:      8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opcua := wave.OPCUAResults()
+	byAddr := map[string]*Result{}
+	for _, r := range opcua {
+		byAddr[r.Address] = r
+	}
+	if len(byAddr) != 3 {
+		t.Fatalf("OPC UA hosts = %d, want 3 (%v)", len(byAddr), keys(byAddr))
+	}
+	hidden, ok := byAddr[addrs["hidden"]]
+	if !ok {
+		t.Fatal("hidden server not discovered via references")
+	}
+	if hidden.Via != ViaReference {
+		t.Errorf("hidden server via = %q", hidden.Via)
+	}
+	if wave.OpenPorts < 2 {
+		t.Errorf("open ports = %d", wave.OpenPorts)
+	}
+	// Without follow-references the hidden server stays invisible.
+	wave2, err := RunWave(context.Background(), nw, sc, WaveConfig{
+		Date:        time.Date(2020, 2, 9, 0, 0, 0, 0, time.UTC),
+		GrabWorkers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range wave2.OPCUAResults() {
+		if r.Address == addrs["hidden"] {
+			t.Error("hidden server found without follow-references")
+		}
+	}
+}
+
+func keys(m map[string]*Result) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestStrongestSecureSelection(t *testing.T) {
+	eps := []EndpointInfo{
+		{SecurityPolicyURI: uapolicy.URINone, SecurityMode: uamsg.SecurityModeNone},
+		{SecurityPolicyURI: uapolicy.URIBasic128Rsa15, SecurityMode: uamsg.SecurityModeSign},
+		{SecurityPolicyURI: uapolicy.URIBasic256Sha256, SecurityMode: uamsg.SecurityModeSign},
+	}
+	p, m := strongestSecure(eps)
+	if p != uapolicy.Basic256Sha256 || m != uamsg.SecurityModeSign {
+		t.Errorf("got %v/%v", p, m)
+	}
+	if p, _ := strongestSecure(eps[:1]); p != nil {
+		t.Error("None-only endpoints should yield nil")
+	}
+}
+
+func TestChannelForSessionPrefersNone(t *testing.T) {
+	eps := []EndpointInfo{
+		{SecurityPolicyURI: uapolicy.URIBasic256Sha256, SecurityMode: uamsg.SecurityModeSignAndEncrypt},
+		{SecurityPolicyURI: uapolicy.URINone, SecurityMode: uamsg.SecurityModeNone},
+	}
+	p, m := channelForSession(eps)
+	if p != uapolicy.None || m != uamsg.SecurityModeNone {
+		t.Errorf("got %v/%v", p, m)
+	}
+	// Secure-only host: pick the weakest secure endpoint.
+	p2, m2 := channelForSession(eps[:1])
+	if p2 != uapolicy.Basic256Sha256 || m2 != uamsg.SecurityModeSignAndEncrypt {
+		t.Errorf("got %v/%v", p2, m2)
+	}
+}
+
+func TestGrabSecureOnlyAnonymousHost(t *testing.T) {
+	// The paper's 71 hosts that force security but allow anonymous
+	// access: the scanner must reach them through a secure channel.
+	prefix, _ := simnet.NewPrefix("192.0.2.0", 28)
+	nw := simnet.New(simnet.NewUniverse(prefix))
+	key, _ := rsa.GenerateKey(rand.Reader, 512)
+	cert, _ := uacert.Generate(key, uacert.Options{CommonName: "sec"})
+	srv, err := uaserver.New(uaserver.Config{
+		ApplicationURI: "urn:secure:anon",
+		EndpointURL:    "opc.tcp://192.0.2.1:4840",
+		Endpoints: []uaserver.EndpointConfig{
+			{Policy: uapolicy.Basic256Sha256, Modes: []uamsg.MessageSecurityMode{
+				uamsg.SecurityModeSignAndEncrypt}},
+		},
+		TokenTypes: []uamsg.UserTokenType{uamsg.UserTokenAnonymous},
+		Key:        key, CertDER: cert.Raw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Register(netip.MustParseAddr("192.0.2.1"), 4840, 65000, srv)
+
+	sc := newScanner(t, nw)
+	res := sc.Grab(context.Background(), Target{Address: "192.0.2.1:4840", Via: ViaPortScan})
+	if !res.ReachedOPCUA {
+		t.Fatalf("grab failed: %s", res.Error)
+	}
+	if !res.Session.Offered || !res.Session.OK {
+		t.Errorf("session over secure channel = %+v", res.Session)
+	}
+}
+
+func TestGrabCertRejectingHost(t *testing.T) {
+	prefix, _ := simnet.NewPrefix("192.0.2.0", 28)
+	nw := simnet.New(simnet.NewUniverse(prefix))
+	key, _ := rsa.GenerateKey(rand.Reader, 512)
+	cert, _ := uacert.Generate(key, uacert.Options{CommonName: "strict"})
+	srv, err := uaserver.New(uaserver.Config{
+		ApplicationURI: "urn:strict",
+		EndpointURL:    "opc.tcp://192.0.2.1:4840",
+		Endpoints: []uaserver.EndpointConfig{
+			{Policy: uapolicy.None, Modes: []uamsg.MessageSecurityMode{uamsg.SecurityModeNone}},
+			{Policy: uapolicy.Basic256, Modes: []uamsg.MessageSecurityMode{uamsg.SecurityModeSign}},
+		},
+		Key: key, CertDER: cert.Raw,
+		Quirks: uaserver.Quirks{RejectClientCert: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Register(netip.MustParseAddr("192.0.2.1"), 4840, 65000, srv)
+
+	sc := newScanner(t, nw)
+	res := sc.Grab(context.Background(), Target{Address: "192.0.2.1:4840", Via: ViaPortScan})
+	if !res.ReachedOPCUA {
+		t.Fatalf("grab failed: %s", res.Error)
+	}
+	if !res.SecureChannel.Attempted || res.SecureChannel.OK {
+		t.Errorf("secure channel = %+v", res.SecureChannel)
+	}
+	if !res.SecureChannel.CertRejected {
+		t.Error("certificate rejection not detected")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{
+		Address: " 1.2.3.4:4840",
+		Endpoints: []EndpointInfo{
+			{SecurityPolicyURI: uapolicy.URINone,
+				TokenTypes: []uamsg.UserTokenType{uamsg.UserTokenAnonymous}},
+			{SecurityPolicyURI: uapolicy.URIBasic256Sha256},
+			{SecurityPolicyURI: uapolicy.URINone},
+		},
+		Session: SessionResult{Offered: true},
+	}
+	if !r.SupportsAnonymous() {
+		t.Error("anonymous not detected")
+	}
+	ps := r.PolicySet()
+	if len(ps) != 2 {
+		t.Errorf("policy set = %v", ps)
+	}
+	if r.HostKey() != "1.2.3.4:4840" {
+		t.Errorf("host key = %q", r.HostKey())
+	}
+}
+
+func BenchmarkPortScan64K(b *testing.B) {
+	prefix, _ := simnet.NewPrefix("10.0.0.0", 16)
+	nw := simnet.New(simnet.NewUniverse(prefix))
+	nw.SetNoise(0.001)
+	for i := 0; i < b.N; i++ {
+		if _, err := PortScan(context.Background(), nw, PortScanConfig{Workers: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPermutation(b *testing.B) {
+	p := NewPermutation(1<<32, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.At(uint64(i) & 0xFFFFFFFF)
+	}
+}

@@ -1,0 +1,306 @@
+// Package simnet provides the in-memory IPv4 Internet the measurement
+// campaign scans: a universe of address prefixes, hosts registered at
+// IP:port with their autonomous system, connection-level noise hosts
+// (open TCP 4840 without OPC UA, as the paper observes for 99.95% of
+// open ports), latency injection and a Dialer compatible with the
+// client and scanner.
+//
+// Real Internet-wide scanning is gated (ethically and technically), so
+// the campaign runs against this network instead; every host is a real
+// OPC UA server speaking the full binary protocol over net.Pipe.
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/netip"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ConnHandler serves one accepted connection. *uaserver.Server satisfies
+// this interface.
+type ConnHandler interface {
+	HandleConn(conn net.Conn)
+}
+
+// HandlerFunc adapts a function to ConnHandler.
+type HandlerFunc func(conn net.Conn)
+
+// HandleConn implements ConnHandler.
+func (f HandlerFunc) HandleConn(conn net.Conn) { f(conn) }
+
+// Prefix is a contiguous IPv4 range [Base, Base+Size).
+type Prefix struct {
+	Base netip.Addr
+	Size uint32
+}
+
+// NewPrefix builds a prefix from CIDR-ish parameters.
+func NewPrefix(base string, bits int) (Prefix, error) {
+	addr, err := netip.ParseAddr(base)
+	if err != nil {
+		return Prefix{}, fmt.Errorf("simnet: %w", err)
+	}
+	if !addr.Is4() {
+		return Prefix{}, fmt.Errorf("simnet: %s is not IPv4", base)
+	}
+	if bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("simnet: invalid prefix length %d", bits)
+	}
+	return Prefix{Base: addr, Size: 1 << (32 - bits)}, nil
+}
+
+func addrToU32(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func u32ToAddr(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// Contains reports whether the prefix contains the address.
+func (p Prefix) Contains(a netip.Addr) bool {
+	v, base := addrToU32(a), addrToU32(p.Base)
+	return v >= base && v-base < p.Size
+}
+
+// AddrAt returns the i-th address of the prefix.
+func (p Prefix) AddrAt(i uint32) netip.Addr {
+	return u32ToAddr(addrToU32(p.Base) + i)
+}
+
+// Universe is the scannable address space: an ordered set of prefixes.
+type Universe struct {
+	prefixes []Prefix
+	total    uint64
+}
+
+// NewUniverse builds a universe from prefixes.
+func NewUniverse(prefixes ...Prefix) *Universe {
+	u := &Universe{prefixes: prefixes}
+	for _, p := range prefixes {
+		u.total += uint64(p.Size)
+	}
+	return u
+}
+
+// Size returns the number of scannable addresses.
+func (u *Universe) Size() uint64 { return u.total }
+
+// AddrAt maps a linear index to an address.
+func (u *Universe) AddrAt(i uint64) (netip.Addr, error) {
+	for _, p := range u.prefixes {
+		if i < uint64(p.Size) {
+			return p.AddrAt(uint32(i)), nil
+		}
+		i -= uint64(p.Size)
+	}
+	return netip.Addr{}, fmt.Errorf("simnet: index %d outside universe", i)
+}
+
+// Contains reports whether the universe contains the address.
+func (u *Universe) Contains(a netip.Addr) bool {
+	for _, p := range u.prefixes {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Network is the simulated Internet.
+type Network struct {
+	universe *Universe
+
+	mu      sync.RWMutex
+	hosts   map[string]*Host // "ip:port"
+	asOfIP  map[netip.Addr]int
+	latency time.Duration
+	// noiseProb is the probability that an unregistered universe address
+	// has TCP 4840 open but speaks something other than OPC UA.
+	noiseProb   float64
+	noiseSeed   uint64
+	dialCount   int64
+	excludedIPs map[netip.Addr]bool
+}
+
+// New creates a network over the given universe.
+func New(u *Universe) *Network {
+	return &Network{
+		universe:    u,
+		hosts:       make(map[string]*Host),
+		asOfIP:      make(map[netip.Addr]int),
+		excludedIPs: make(map[netip.Addr]bool),
+		noiseSeed:   0x9E3779B97F4A7C15,
+	}
+}
+
+// Host is one registered endpoint.
+type Host struct {
+	IP      netip.Addr
+	Port    int
+	ASN     int
+	Handler ConnHandler
+}
+
+// SetLatency sets the artificial dial latency.
+func (n *Network) SetLatency(d time.Duration) { n.latency = d }
+
+// SetNoise configures the open-port-but-not-OPC-UA probability for
+// unregistered universe addresses on port 4840.
+func (n *Network) SetNoise(prob float64) { n.noiseProb = prob }
+
+// Exclude removes an IP from the network (opt-out list, Appendix A.2).
+func (n *Network) Exclude(ip netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.excludedIPs[ip] = true
+}
+
+// Register adds a host. Registering the same ip:port twice replaces the
+// previous handler (hosts change across measurement waves).
+func (n *Network) Register(ip netip.Addr, port, asn int, h ConnHandler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := netip.AddrPortFrom(ip, uint16(port)).String()
+	n.hosts[key] = &Host{IP: ip, Port: port, ASN: asn, Handler: h}
+	n.asOfIP[ip] = asn
+}
+
+// Unregister removes a host (churn between waves).
+func (n *Network) Unregister(ip netip.Addr, port int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.hosts, netip.AddrPortFrom(ip, uint16(port)).String())
+}
+
+// Hosts returns a snapshot of all registered hosts.
+func (n *Network) Hosts() []*Host {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		out = append(out, h)
+	}
+	return out
+}
+
+// NumHosts returns the number of registered endpoints.
+func (n *Network) NumHosts() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.hosts)
+}
+
+// Universe returns the scannable address space.
+func (n *Network) Universe() *Universe { return n.universe }
+
+// ASOf returns the autonomous system of an address; unregistered
+// addresses get a deterministic ASN derived from their /16.
+func (n *Network) ASOf(ip netip.Addr) int {
+	n.mu.RLock()
+	if asn, ok := n.asOfIP[ip]; ok {
+		n.mu.RUnlock()
+		return asn
+	}
+	n.mu.RUnlock()
+	return 64512 + int(addrToU32(ip)>>16)%1024
+}
+
+// isNoise deterministically decides whether an unregistered address
+// answers on port 4840 with a non-OPC-UA service.
+func (n *Network) isNoise(ip netip.Addr, port int) bool {
+	if port != 4840 || n.noiseProb <= 0 || !n.universe.Contains(ip) {
+		return false
+	}
+	h := fnv.New64a()
+	b := ip.As4()
+	h.Write(b[:])
+	v := h.Sum64() ^ n.noiseSeed
+	// Map the hash to [0,1) and compare.
+	return float64(v%1000000)/1000000.0 < n.noiseProb
+}
+
+// ErrRefused mirrors a TCP RST from a closed port.
+type ErrRefused struct{ Addr string }
+
+// Error implements the error interface.
+func (e ErrRefused) Error() string { return "simnet: connection refused: " + e.Addr }
+
+// Timeout reports false; refusals are immediate.
+func (e ErrRefused) Timeout() bool { return false }
+
+// DialContext implements the Dialer interface used by uaclient and the
+// scanner. It spawns the host's handler on the server end of a pipe.
+func (n *Network) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	if network != "tcp" && network != "tcp4" {
+		return nil, fmt.Errorf("simnet: unsupported network %q", network)
+	}
+	host, portStr, err := net.SplitHostPort(address)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: %w", err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: invalid port %q", portStr)
+	}
+	ip, err := netip.ParseAddr(host)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: %w", err)
+	}
+	if n.latency > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(n.latency):
+		}
+	}
+	n.mu.RLock()
+	excluded := n.excludedIPs[ip]
+	h, ok := n.hosts[netip.AddrPortFrom(ip, uint16(port)).String()]
+	n.mu.RUnlock()
+	if excluded {
+		return nil, ErrRefused{Addr: address}
+	}
+	if !ok {
+		if n.isNoise(ip, port) {
+			client, server := net.Pipe()
+			go noiseHandler(server)
+			return client, nil
+		}
+		return nil, ErrRefused{Addr: address}
+	}
+	client, server := net.Pipe()
+	go h.Handler.HandleConn(server)
+	return client, nil
+}
+
+// noiseHandler emulates a non-OPC-UA service on port 4840: it reads a
+// little and responds with an HTTP error, as embedded web servers do.
+func noiseHandler(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 256)
+	_, _ = conn.Read(buf)
+	_, _ = conn.Write([]byte("HTTP/1.0 400 Bad Request\r\nConnection: close\r\n\r\n"))
+}
+
+// OpenPort reports whether a TCP connect to the address would succeed,
+// without spawning handlers. The port-scan stage uses it as its fast
+// SYN-probe path; the result matches DialContext behaviour exactly.
+func (n *Network) OpenPort(ip netip.Addr, port int) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.excludedIPs[ip] {
+		return false
+	}
+	if _, ok := n.hosts[netip.AddrPortFrom(ip, uint16(port)).String()]; ok {
+		return true
+	}
+	return n.isNoise(ip, port)
+}

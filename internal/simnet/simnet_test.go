@@ -1,0 +1,227 @@
+package simnet
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func mustPrefix(t *testing.T, base string, bits int) Prefix {
+	t.Helper()
+	p, err := NewPrefix(base, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPrefixAndUniverse(t *testing.T) {
+	p := mustPrefix(t, "192.0.2.0", 24)
+	if p.Size != 256 {
+		t.Errorf("size = %d", p.Size)
+	}
+	if !p.Contains(netip.MustParseAddr("192.0.2.255")) {
+		t.Error("should contain .255")
+	}
+	if p.Contains(netip.MustParseAddr("192.0.3.0")) {
+		t.Error("should not contain .3.0")
+	}
+	if got := p.AddrAt(7).String(); got != "192.0.2.7" {
+		t.Errorf("AddrAt(7) = %s", got)
+	}
+
+	u := NewUniverse(p, mustPrefix(t, "198.51.100.0", 24))
+	if u.Size() != 512 {
+		t.Errorf("universe size = %d", u.Size())
+	}
+	a, err := u.AddrAt(256)
+	if err != nil || a.String() != "198.51.100.0" {
+		t.Errorf("AddrAt(256) = %v, %v", a, err)
+	}
+	if _, err := u.AddrAt(512); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if !u.Contains(netip.MustParseAddr("198.51.100.9")) {
+		t.Error("universe should contain second prefix")
+	}
+}
+
+func TestNewPrefixValidation(t *testing.T) {
+	if _, err := NewPrefix("not-an-ip", 24); err == nil {
+		t.Error("bad IP accepted")
+	}
+	if _, err := NewPrefix("2001:db8::1", 64); err == nil {
+		t.Error("IPv6 accepted")
+	}
+	if _, err := NewPrefix("10.0.0.0", 40); err == nil {
+		t.Error("bad prefix length accepted")
+	}
+}
+
+func TestDialRegisteredHost(t *testing.T) {
+	u := NewUniverse(mustPrefix(t, "192.0.2.0", 24))
+	nw := New(u)
+	ip := netip.MustParseAddr("192.0.2.10")
+	nw.Register(ip, 4840, 65001, HandlerFunc(func(conn net.Conn) {
+		defer conn.Close()
+		_, _ = conn.Write([]byte("pong"))
+	}))
+
+	conn, err := nw.DialContext(context.Background(), "tcp", "192.0.2.10:4840")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 4)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong" {
+		t.Errorf("read %q", buf)
+	}
+	if nw.ASOf(ip) != 65001 {
+		t.Errorf("ASN = %d", nw.ASOf(ip))
+	}
+	if nw.NumHosts() != 1 || len(nw.Hosts()) != 1 {
+		t.Error("host registry wrong")
+	}
+}
+
+func TestDialClosedPortRefused(t *testing.T) {
+	nw := New(NewUniverse(mustPrefix(t, "192.0.2.0", 24)))
+	_, err := nw.DialContext(context.Background(), "tcp", "192.0.2.10:4840")
+	if _, ok := err.(ErrRefused); !ok {
+		t.Errorf("err = %v, want ErrRefused", err)
+	}
+	if err.Error() == "" || err.(ErrRefused).Timeout() {
+		t.Error("refusal should carry a message and not be a timeout")
+	}
+}
+
+func TestUnregisterAndExclude(t *testing.T) {
+	nw := New(NewUniverse(mustPrefix(t, "192.0.2.0", 24)))
+	ip := netip.MustParseAddr("192.0.2.10")
+	nw.Register(ip, 4840, 1, HandlerFunc(func(c net.Conn) { c.Close() }))
+	if !nw.OpenPort(ip, 4840) {
+		t.Error("port should be open")
+	}
+	nw.Unregister(ip, 4840)
+	if nw.OpenPort(ip, 4840) {
+		t.Error("port should be closed after unregister")
+	}
+
+	nw.Register(ip, 4840, 1, HandlerFunc(func(c net.Conn) { c.Close() }))
+	nw.Exclude(ip)
+	if nw.OpenPort(ip, 4840) {
+		t.Error("excluded IP should look closed")
+	}
+	if _, err := nw.DialContext(context.Background(), "tcp", "192.0.2.10:4840"); err == nil {
+		t.Error("dialing excluded IP should fail")
+	}
+}
+
+func TestNoiseHostsAnswerButAreNotOPCUA(t *testing.T) {
+	nw := New(NewUniverse(mustPrefix(t, "192.0.2.0", 24)))
+	nw.SetNoise(1.0) // every unregistered universe address answers
+	conn, err := nw.DialContext(context.Background(), "tcp", "192.0.2.200:4840")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("HEL")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := conn.Read(buf)
+	if err != nil || n == 0 {
+		t.Fatalf("noise host read: %d, %v", n, err)
+	}
+	if string(buf[:4]) == "ACK\x00" {
+		t.Error("noise host should not speak OPC UA")
+	}
+	// Noise only exists on port 4840 and inside the universe.
+	if nw.OpenPort(netip.MustParseAddr("192.0.2.200"), 4841) {
+		t.Error("noise on non-default port")
+	}
+	if nw.OpenPort(netip.MustParseAddr("10.9.9.9"), 4840) {
+		t.Error("noise outside universe")
+	}
+}
+
+func TestNoiseDeterministicFraction(t *testing.T) {
+	nw := New(NewUniverse(mustPrefix(t, "10.0.0.0", 16)))
+	nw.SetNoise(0.25)
+	count := 0
+	u := nw.Universe()
+	for i := uint64(0); i < u.Size(); i++ {
+		a, _ := u.AddrAt(i)
+		if nw.OpenPort(a, 4840) {
+			count++
+		}
+	}
+	frac := float64(count) / float64(u.Size())
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("noise fraction = %.3f, want ≈0.25", frac)
+	}
+	// Determinism: a second pass gives the identical count.
+	count2 := 0
+	for i := uint64(0); i < u.Size(); i++ {
+		a, _ := u.AddrAt(i)
+		if nw.OpenPort(a, 4840) {
+			count2++
+		}
+	}
+	if count != count2 {
+		t.Error("noise not deterministic")
+	}
+}
+
+func TestDialLatency(t *testing.T) {
+	nw := New(NewUniverse(mustPrefix(t, "192.0.2.0", 30)))
+	nw.SetLatency(50 * time.Millisecond)
+	start := time.Now()
+	_, err := nw.DialContext(context.Background(), "tcp", "192.0.2.1:4840")
+	if _, ok := err.(ErrRefused); !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("latency not applied: %v", elapsed)
+	}
+	// Context cancellation beats latency.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := nw.DialContext(ctx, "tcp", "192.0.2.1:4840"); err == nil {
+		t.Error("cancelled dial should fail")
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	nw := New(NewUniverse(mustPrefix(t, "192.0.2.0", 24)))
+	if _, err := nw.DialContext(context.Background(), "udp", "192.0.2.1:4840"); err == nil {
+		t.Error("udp accepted")
+	}
+	if _, err := nw.DialContext(context.Background(), "tcp", "192.0.2.1"); err == nil {
+		t.Error("missing port accepted")
+	}
+	if _, err := nw.DialContext(context.Background(), "tcp", "host:foo"); err == nil {
+		t.Error("bad port accepted")
+	}
+	if _, err := nw.DialContext(context.Background(), "tcp", "nothost:4840"); err == nil {
+		t.Error("bad IP accepted")
+	}
+}
+
+func TestASOfUnregisteredIsDeterministic(t *testing.T) {
+	nw := New(NewUniverse(mustPrefix(t, "192.0.2.0", 24)))
+	a := netip.MustParseAddr("203.0.113.7")
+	if nw.ASOf(a) != nw.ASOf(a) {
+		t.Error("ASN not deterministic")
+	}
+	if nw.ASOf(a) < 64512 {
+		t.Error("synthetic ASN out of private range")
+	}
+}

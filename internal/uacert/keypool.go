@@ -1,0 +1,111 @@
+package uacert
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+)
+
+// KeyPool generates and memoizes RSA keys by size. World construction in
+// the simulation needs hundreds of keys; generating them once and indexing
+// them deterministically keeps repeated campaign runs affordable while
+// every key still has unique, independently generated primes.
+type KeyPool struct {
+	mu   sync.Mutex
+	keys map[int][]*rsa.PrivateKey
+}
+
+// NewKeyPool returns an empty pool.
+func NewKeyPool() *KeyPool {
+	return &KeyPool{keys: make(map[int][]*rsa.PrivateKey)}
+}
+
+// Key returns the idx-th key of the given bit size, generating keys as
+// needed. Two calls with the same (bits, idx) return the same key.
+func (p *KeyPool) Key(bits, idx int) *rsa.PrivateKey {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.keys[bits]) <= idx {
+		key, err := rsa.GenerateKey(rand.Reader, bits)
+		if err != nil {
+			panic(fmt.Sprintf("uacert: generating %d-bit key: %v", bits, err))
+		}
+		p.keys[bits] = append(p.keys[bits], key)
+	}
+	return p.keys[bits][idx]
+}
+
+// Size returns how many keys of the given bit size the pool holds.
+func (p *KeyPool) Size(bits int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.keys[bits])
+}
+
+// Prewarm generates keys in parallel so that Key(bits, i) for i < n is a
+// cache hit. It blocks until all keys exist.
+func (p *KeyPool) Prewarm(bits, n int) {
+	p.mu.Lock()
+	have := len(p.keys[bits])
+	p.mu.Unlock()
+	if have >= n {
+		return
+	}
+	need := n - have
+	keys := make([]*rsa.PrivateKey, need)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range keys {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			key, err := rsa.GenerateKey(rand.Reader, bits)
+			if err != nil {
+				panic(fmt.Sprintf("uacert: generating %d-bit key: %v", bits, err))
+			}
+			keys[i] = key
+		}(i)
+	}
+	wg.Wait()
+	p.mu.Lock()
+	p.keys[bits] = append(p.keys[bits], keys...)
+	p.mu.Unlock()
+}
+
+// NewKeyFromPrimes constructs an RSA private key from explicit primes.
+// The study uses it to inject shared-prime weak keys and verify that the
+// batch-GCD detector finds them (§5.3 of the paper).
+func NewKeyFromPrimes(p, q *big.Int) (*rsa.PrivateKey, error) {
+	if p == nil || q == nil || p.Cmp(q) == 0 {
+		return nil, errors.New("uacert: need two distinct primes")
+	}
+	one := big.NewInt(1)
+	n := new(big.Int).Mul(p, q)
+	phi := new(big.Int).Mul(new(big.Int).Sub(p, one), new(big.Int).Sub(q, one))
+	e := big.NewInt(65537)
+	d := new(big.Int).ModInverse(e, phi)
+	if d == nil {
+		return nil, errors.New("uacert: e not invertible modulo phi(n)")
+	}
+	key := &rsa.PrivateKey{
+		PublicKey: rsa.PublicKey{N: n, E: int(e.Int64())},
+		D:         d,
+		Primes:    []*big.Int{new(big.Int).Set(p), new(big.Int).Set(q)},
+	}
+	key.Precompute()
+	if err := key.Validate(); err != nil {
+		return nil, fmt.Errorf("uacert: key validation: %w", err)
+	}
+	return key, nil
+}
+
+// GeneratePrime returns a random prime of the given bit size.
+func GeneratePrime(bits int) (*big.Int, error) {
+	return rand.Prime(rand.Reader, bits)
+}

@@ -1,0 +1,450 @@
+// Package uaclient implements a full OPC UA client: UACP handshake,
+// secure channels with any policy/mode, discovery services, sessions
+// with all token types, and a polite address-space walker with the
+// byte/time limits the paper's scanner enforces (Appendix A.2).
+package uaclient
+
+import (
+	"context"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/uamsg"
+	"repro/internal/uapolicy"
+	"repro/internal/uasc"
+	"repro/internal/uastatus"
+	"repro/internal/uatypes"
+)
+
+// Dialer abstracts connection establishment so clients run against the
+// real Internet (net.Dialer) or a simulated one.
+type Dialer interface {
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+}
+
+// Options configures a client.
+type Options struct {
+	Dialer          Dialer
+	Limits          uasc.Limits
+	Timeout         time.Duration // per-connection I/O deadline
+	ApplicationURI  string
+	ApplicationName string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dialer == nil {
+		o.Dialer = &net.Dialer{}
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.ApplicationURI == "" {
+		o.ApplicationURI = "urn:repro:opcua:client"
+	}
+	return o
+}
+
+// EndpointAddress extracts "host:port" from an opc.tcp URL.
+func EndpointAddress(endpointURL string) (string, error) {
+	rest, ok := strings.CutPrefix(endpointURL, "opc.tcp://")
+	if !ok {
+		return "", fmt.Errorf("uaclient: unsupported scheme in %q", endpointURL)
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", fmt.Errorf("uaclient: empty host in %q", endpointURL)
+	}
+	if !strings.Contains(rest, ":") {
+		rest += ":4840"
+	}
+	return rest, nil
+}
+
+// countingConn tracks transferred bytes for the scanner's traffic cap.
+type countingConn struct {
+	net.Conn
+	read    *atomic.Int64
+	written *atomic.Int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written.Add(int64(n))
+	return n, err
+}
+
+// Client is a connection to one OPC UA server.
+type Client struct {
+	opts Options
+
+	tr *uasc.Transport
+	ch *uasc.Channel
+
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+
+	endpointURL string
+	reqHandle   uint32
+
+	sessionToken uatypes.NodeID
+	activated    bool
+}
+
+// Dial connects and completes the UACP handshake. No secure channel is
+// opened yet; call OpenChannel.
+func Dial(ctx context.Context, endpointURL string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	addr, err := EndpointAddress(endpointURL)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := opts.Dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{opts: opts, endpointURL: endpointURL}
+	cc := countingConn{Conn: conn, read: &c.bytesRead, written: &c.bytesWritten}
+	_ = conn.SetDeadline(time.Now().Add(opts.Timeout))
+	tr, err := uasc.ClientHello(cc, endpointURL, opts.Limits)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.tr = tr
+	return c, nil
+}
+
+// BytesTransferred returns total bytes read and written.
+func (c *Client) BytesTransferred() (read, written int64) {
+	return c.bytesRead.Load(), c.bytesWritten.Load()
+}
+
+// ExtendDeadline pushes the connection I/O deadline forward.
+func (c *Client) ExtendDeadline() {
+	_ = c.tr.Conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+}
+
+// ChannelSecurity describes the secure channel to open.
+type ChannelSecurity struct {
+	Policy        *uapolicy.Policy
+	Mode          uamsg.MessageSecurityMode
+	LocalKey      *rsa.PrivateKey
+	LocalCertDER  []byte
+	RemoteCertDER []byte
+}
+
+// OpenChannel opens the secure channel. Must be called exactly once.
+func (c *Client) OpenChannel(sec ChannelSecurity) error {
+	if c.ch != nil {
+		return errors.New("uaclient: channel already open")
+	}
+	c.ExtendDeadline()
+	ch, err := uasc.Open(c.tr, uasc.ChannelSecurity{
+		Policy:        sec.Policy,
+		Mode:          sec.Mode,
+		LocalKey:      sec.LocalKey,
+		LocalCertDER:  sec.LocalCertDER,
+		RemoteCertDER: sec.RemoteCertDER,
+	}, 3600000)
+	if err != nil {
+		return err
+	}
+	c.ch = ch
+	return nil
+}
+
+// OpenInsecureChannel opens a None/None channel (used for discovery).
+func (c *Client) OpenInsecureChannel() error {
+	return c.OpenChannel(ChannelSecurity{
+		Policy: uapolicy.None,
+		Mode:   uamsg.SecurityModeNone,
+	})
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	if c.ch != nil {
+		return c.ch.Close()
+	}
+	return c.tr.Close()
+}
+
+func (c *Client) nextHandle() uint32 {
+	c.reqHandle++
+	return c.reqHandle
+}
+
+func (c *Client) header() uamsg.RequestHeader {
+	return uamsg.RequestHeader{
+		AuthenticationToken: c.sessionToken,
+		Timestamp:           time.Now(),
+		RequestHandle:       c.nextHandle(),
+		TimeoutHint:         uint32(c.opts.Timeout / time.Millisecond),
+	}
+}
+
+// request sends a request and unwraps faults into errors.
+func (c *Client) request(req uamsg.Request) (uamsg.Message, error) {
+	if c.ch == nil {
+		return nil, errors.New("uaclient: no open channel")
+	}
+	c.ExtendDeadline()
+	msg, err := c.ch.Request(req)
+	if err != nil {
+		return nil, err
+	}
+	if f, ok := msg.(*uamsg.ServiceFault); ok {
+		return nil, ServiceError{Code: f.Header.ServiceResult}
+	}
+	if resp, ok := msg.(uamsg.Response); ok {
+		if code := resp.ResponseHeader().ServiceResult; code.IsBad() {
+			return nil, ServiceError{Code: code}
+		}
+	}
+	return msg, nil
+}
+
+// ServiceError is a bad service result from the server.
+type ServiceError struct {
+	Code uastatus.Code
+}
+
+// Error implements the error interface.
+func (e ServiceError) Error() string { return "uaclient: service error: " + e.Code.String() }
+
+// GetEndpoints retrieves the server's endpoint descriptions.
+func (c *Client) GetEndpoints() ([]uamsg.EndpointDescription, error) {
+	msg, err := c.request(&uamsg.GetEndpointsRequest{
+		Header:      c.header(),
+		EndpointURL: c.endpointURL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := msg.(*uamsg.GetEndpointsResponse)
+	if !ok {
+		return nil, fmt.Errorf("uaclient: unexpected %T", msg)
+	}
+	return resp.Endpoints, nil
+}
+
+// FindServers queries the discovery service.
+func (c *Client) FindServers() ([]uamsg.ApplicationDescription, error) {
+	msg, err := c.request(&uamsg.FindServersRequest{
+		Header:      c.header(),
+		EndpointURL: c.endpointURL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := msg.(*uamsg.FindServersResponse)
+	if !ok {
+		return nil, fmt.Errorf("uaclient: unexpected %T", msg)
+	}
+	return resp.Servers, nil
+}
+
+// Identity selects the session authentication token.
+type Identity struct {
+	Token any // *uamsg.AnonymousIdentityToken etc.; nil means anonymous
+}
+
+// AnonymousIdentity authenticates anonymously.
+func AnonymousIdentity() Identity {
+	return Identity{Token: &uamsg.AnonymousIdentityToken{PolicyID: "0"}}
+}
+
+// UserNameIdentity authenticates with credentials.
+func UserNameIdentity(user, password string) Identity {
+	return Identity{Token: &uamsg.UserNameIdentityToken{
+		PolicyID: "0", UserName: user, Password: []byte(password),
+	}}
+}
+
+// CreateSession creates and activates a session with the identity.
+func (c *Client) CreateSession(identity Identity) error {
+	nonce := make([]byte, 32)
+	msg, err := c.request(&uamsg.CreateSessionRequest{
+		Header: c.header(),
+		ClientDescription: uamsg.ApplicationDescription{
+			ApplicationURI:  c.opts.ApplicationURI,
+			ApplicationName: uatypes.NewText(c.opts.ApplicationName),
+			ApplicationType: uamsg.ApplicationClient,
+		},
+		EndpointURL:             c.endpointURL,
+		SessionName:             "session",
+		ClientNonce:             nonce,
+		ClientCertificate:       c.ch.Security().LocalCertDER,
+		RequestedSessionTimeout: 60000,
+	})
+	if err != nil {
+		return err
+	}
+	resp, ok := msg.(*uamsg.CreateSessionResponse)
+	if !ok {
+		return fmt.Errorf("uaclient: unexpected %T", msg)
+	}
+	c.sessionToken = resp.AuthenticationToken
+
+	act := &uamsg.ActivateSessionRequest{
+		Header:            c.header(),
+		UserIdentityToken: uamsg.EncodeIdentityToken(identity.Token),
+	}
+	sec := c.ch.Security()
+	if !sec.Policy.Insecure && sec.LocalKey != nil {
+		data := append(append([]byte{}, resp.ServerCertificate...), resp.ServerNonce...)
+		if sig, err := sec.Policy.AsymSign(sec.LocalKey, data); err == nil {
+			act.ClientSignature = uamsg.SignatureData{Algorithm: sec.Policy.URI, Signature: sig}
+		}
+	}
+	if _, err := c.request(act); err != nil {
+		c.sessionToken = uatypes.NodeID{}
+		return err
+	}
+	c.activated = true
+	return nil
+}
+
+// CloseSession ends the session.
+func (c *Client) CloseSession() error {
+	if !c.activated && c.sessionToken.IsNull() {
+		return nil
+	}
+	_, err := c.request(&uamsg.CloseSessionRequest{Header: c.header()})
+	c.activated = false
+	c.sessionToken = uatypes.NodeID{}
+	return err
+}
+
+// Browse returns the forward hierarchical references of one node.
+func (c *Client) Browse(id uatypes.NodeID) ([]uamsg.ReferenceDescription, error) {
+	msg, err := c.request(&uamsg.BrowseRequest{
+		Header: c.header(),
+		NodesToBrowse: []uamsg.BrowseDescription{{
+			NodeID:          id,
+			Direction:       uamsg.BrowseDirectionForward,
+			ReferenceTypeID: uatypes.NewNumericNodeID(0, uamsg.IDHierarchicalRefType),
+			IncludeSubtypes: true,
+			ResultMask:      63,
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := msg.(*uamsg.BrowseResponse)
+	if !ok {
+		return nil, fmt.Errorf("uaclient: unexpected %T", msg)
+	}
+	if len(resp.Results) != 1 {
+		return nil, errors.New("uaclient: browse returned no results")
+	}
+	result := resp.Results[0]
+	if result.Status.IsBad() {
+		return nil, ServiceError{Code: result.Status}
+	}
+	refs := result.References
+	for len(result.ContinuationPoint) > 0 {
+		msg, err := c.request(&uamsg.BrowseNextRequest{
+			Header:             c.header(),
+			ContinuationPoints: [][]byte{result.ContinuationPoint},
+		})
+		if err != nil {
+			return nil, err
+		}
+		next, ok := msg.(*uamsg.BrowseNextResponse)
+		if !ok || len(next.Results) != 1 {
+			return nil, errors.New("uaclient: malformed browse-next response")
+		}
+		result = next.Results[0]
+		refs = append(refs, result.References...)
+	}
+	return refs, nil
+}
+
+// Read reads one attribute of several nodes.
+func (c *Client) Read(ids []uatypes.NodeID, attr uamsg.AttributeID) ([]uatypes.DataValue, error) {
+	rvs := make([]uamsg.ReadValueID, len(ids))
+	for i, id := range ids {
+		rvs[i] = uamsg.ReadValueID{NodeID: id, AttributeID: attr}
+	}
+	msg, err := c.request(&uamsg.ReadRequest{
+		Header:      c.header(),
+		Timestamps:  uamsg.TimestampsNeither,
+		NodesToRead: rvs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := msg.(*uamsg.ReadResponse)
+	if !ok {
+		return nil, fmt.Errorf("uaclient: unexpected %T", msg)
+	}
+	return resp.Results, nil
+}
+
+// ReadValue reads the Value attribute of one node.
+func (c *Client) ReadValue(id uatypes.NodeID) (uatypes.DataValue, error) {
+	vals, err := c.Read([]uatypes.NodeID{id}, uamsg.AttrValue)
+	if err != nil {
+		return uatypes.DataValue{}, err
+	}
+	if len(vals) != 1 {
+		return uatypes.DataValue{}, errors.New("uaclient: read returned no results")
+	}
+	return vals[0], nil
+}
+
+// Call invokes one method.
+func (c *Client) Call(objectID, methodID uatypes.NodeID, args []uatypes.Variant) (uamsg.CallMethodResult, error) {
+	msg, err := c.request(&uamsg.CallRequest{
+		Header: c.header(),
+		MethodsToCall: []uamsg.CallMethodRequest{{
+			ObjectID: objectID, MethodID: methodID, InputArguments: args,
+		}},
+	})
+	if err != nil {
+		return uamsg.CallMethodResult{}, err
+	}
+	resp, ok := msg.(*uamsg.CallResponse)
+	if !ok || len(resp.Results) != 1 {
+		return uamsg.CallMethodResult{}, errors.New("uaclient: malformed call response")
+	}
+	return resp.Results[0], nil
+}
+
+// NamespaceArray reads the server's namespace array.
+func (c *Client) NamespaceArray() ([]string, error) {
+	dv, err := c.ReadValue(uatypes.NewNumericNodeID(0, uamsg.IDNamespaceArray))
+	if err != nil {
+		return nil, err
+	}
+	if dv.Value == nil {
+		return nil, errors.New("uaclient: namespace array empty")
+	}
+	return dv.Value.StringArray(), nil
+}
+
+// SoftwareVersion reads BuildInfo/SoftwareVersion.
+func (c *Client) SoftwareVersion() (string, error) {
+	dv, err := c.ReadValue(uatypes.NewNumericNodeID(0, uamsg.IDSoftwareVersion))
+	if err != nil {
+		return "", err
+	}
+	if dv.Value == nil {
+		return "", nil
+	}
+	return dv.Value.Str, nil
+}

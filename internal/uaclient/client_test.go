@@ -1,0 +1,102 @@
+package uaclient
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/uamsg"
+)
+
+// The full client behaviour (sessions, browse, read, call, walking,
+// security) is exercised against the real server in
+// internal/uaserver's integration tests; this file covers the
+// client-local pieces.
+
+func TestIdentityConstructors(t *testing.T) {
+	anon := AnonymousIdentity()
+	tok, ok := anon.Token.(*uamsg.AnonymousIdentityToken)
+	if !ok || tok.PolicyID != "0" {
+		t.Errorf("anonymous identity = %#v", anon.Token)
+	}
+	user := UserNameIdentity("op", "pw")
+	ut, ok := user.Token.(*uamsg.UserNameIdentityToken)
+	if !ok || ut.UserName != "op" || string(ut.Password) != "pw" {
+		t.Errorf("user identity = %#v", user.Token)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Dialer == nil || o.Timeout <= 0 || o.ApplicationURI == "" {
+		t.Errorf("defaults missing: %+v", o)
+	}
+	custom := Options{Timeout: time.Second, ApplicationURI: "urn:x"}.withDefaults()
+	if custom.Timeout != time.Second || custom.ApplicationURI != "urn:x" {
+		t.Errorf("custom options overridden: %+v", custom)
+	}
+}
+
+func TestServiceErrorMessage(t *testing.T) {
+	e := ServiceError{Code: 0x80340000} // BadNodeIdUnknown
+	if e.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+type refusingDialer struct{}
+
+func (refusingDialer) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	return nil, &net.OpError{Op: "dial", Err: context.DeadlineExceeded}
+}
+
+func TestDialFailures(t *testing.T) {
+	// Bad URL scheme.
+	if _, err := Dial(context.Background(), "http://x", Options{}); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	// Dialer failure propagates.
+	if _, err := Dial(context.Background(), "opc.tcp://192.0.2.1:4840",
+		Options{Dialer: refusingDialer{}}); err == nil {
+		t.Error("dialer failure swallowed")
+	}
+}
+
+func TestDialHandshakeFailureClosesConn(t *testing.T) {
+	// A peer that speaks garbage instead of ACK must produce an error.
+	client, server := net.Pipe()
+	d := pipeDialer{conn: client}
+	go func() {
+		buf := make([]byte, 256)
+		_, _ = server.Read(buf)
+		_, _ = server.Write([]byte("HTTP/1.0 400 Bad Request\r\n\r\n"))
+		server.Close()
+	}()
+	_, err := Dial(context.Background(), "opc.tcp://198.51.100.1:4840", Options{
+		Dialer:  d,
+		Timeout: 2 * time.Second,
+	})
+	if err == nil {
+		t.Error("garbage handshake accepted")
+	}
+}
+
+type pipeDialer struct{ conn net.Conn }
+
+func (p pipeDialer) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	return p.conn, nil
+}
+
+func TestDefaultWalkOptionsMatchPaper(t *testing.T) {
+	o := DefaultWalkOptions()
+	if o.Delay != 500*time.Millisecond {
+		t.Errorf("delay = %v, want the paper's 500ms", o.Delay)
+	}
+	if o.MaxDuration != 60*time.Minute {
+		t.Errorf("max duration = %v, want 60min", o.MaxDuration)
+	}
+	if o.MaxBytes != 50<<20 {
+		t.Errorf("max bytes = %d, want 50MB", o.MaxBytes)
+	}
+}

@@ -1,0 +1,201 @@
+package uaclient
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/uamsg"
+	"repro/internal/uatypes"
+)
+
+// WalkOptions bound an address-space traversal. The defaults mirror the
+// paper's politeness limits (Appendix A.2): 500 ms between requests,
+// 60 minutes and 50 MB per host. Simulations set Delay to zero.
+type WalkOptions struct {
+	Delay       time.Duration
+	MaxDuration time.Duration
+	MaxBytes    int64
+	MaxNodes    int
+	// ReadValues samples the value of up to MaxValueReads readable
+	// variables (used for classification evidence).
+	ReadValues    bool
+	MaxValueReads int
+}
+
+// DefaultWalkOptions returns the paper's limits.
+func DefaultWalkOptions() WalkOptions {
+	return WalkOptions{
+		Delay:         500 * time.Millisecond,
+		MaxDuration:   60 * time.Minute,
+		MaxBytes:      50 << 20,
+		MaxNodes:      100000,
+		MaxValueReads: 16,
+	}
+}
+
+// NodeInfo is one traversed node with its anonymous-effective rights.
+type NodeInfo struct {
+	ID              uatypes.NodeID
+	Class           uamsg.NodeClass
+	BrowseName      string
+	DisplayName     string
+	UserAccessLevel uamsg.AccessLevel
+	UserExecutable  bool
+	Value           *uatypes.Variant
+}
+
+// WalkResult is the outcome of an address-space traversal.
+type WalkResult struct {
+	Nodes      []NodeInfo
+	Namespaces []string
+	Truncated  bool
+	LimitHit   string // which limit stopped the walk, if any
+}
+
+// Walk traverses the address space breadth-first from the Objects folder
+// within the configured limits. It requires an activated session.
+func (c *Client) Walk(ctx context.Context, o WalkOptions) (*WalkResult, error) {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 100000
+	}
+	res := &WalkResult{}
+	deadline := time.Time{}
+	if o.MaxDuration > 0 {
+		deadline = time.Now().Add(o.MaxDuration)
+	}
+	limitHit := func() bool {
+		if ctx.Err() != nil {
+			res.Truncated, res.LimitHit = true, "context"
+			return true
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.Truncated, res.LimitHit = true, "time"
+			return true
+		}
+		if o.MaxBytes > 0 {
+			r, w := c.BytesTransferred()
+			if r+w > o.MaxBytes {
+				res.Truncated, res.LimitHit = true, "bytes"
+				return true
+			}
+		}
+		return false
+	}
+	pause := func() {
+		if o.Delay > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(o.Delay):
+			}
+		}
+	}
+
+	if ns, err := c.NamespaceArray(); err == nil {
+		res.Namespaces = ns
+	}
+	pause()
+
+	visited := make(map[string]bool)
+	queue := []uatypes.NodeID{uatypes.NewNumericNodeID(0, uamsg.IDObjectsFolder)}
+	visited[queue[0].Key()] = true
+
+	var variables, methods []uatypes.NodeID
+	nodeAt := make(map[string]int) // node key -> index in res.Nodes
+
+	for len(queue) > 0 && len(res.Nodes) < o.MaxNodes {
+		if limitHit() {
+			break
+		}
+		id := queue[0]
+		queue = queue[1:]
+		refs, err := c.Browse(id)
+		if err != nil {
+			// Nodes may be restricted; continue with the rest.
+			continue
+		}
+		pause()
+		for _, ref := range refs {
+			key := ref.NodeID.NodeID.Key()
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			info := NodeInfo{
+				ID:          ref.NodeID.NodeID,
+				Class:       ref.NodeClass,
+				BrowseName:  ref.BrowseName.String(),
+				DisplayName: ref.DisplayName.Text,
+			}
+			nodeAt[key] = len(res.Nodes)
+			res.Nodes = append(res.Nodes, info)
+			switch ref.NodeClass {
+			case uamsg.NodeClassVariable:
+				variables = append(variables, ref.NodeID.NodeID)
+			case uamsg.NodeClassMethod:
+				methods = append(methods, ref.NodeID.NodeID)
+			}
+			if ref.NodeClass == uamsg.NodeClassObject || ref.NodeClass == uamsg.NodeClassVariable {
+				queue = append(queue, ref.NodeID.NodeID)
+			}
+			if len(res.Nodes) >= o.MaxNodes {
+				res.Truncated, res.LimitHit = true, "nodes"
+				break
+			}
+		}
+	}
+
+	// Batch-read effective access rights.
+	const batch = 100
+	for start := 0; start < len(variables) && !limitHit(); start += batch {
+		end := min(start+batch, len(variables))
+		vals, err := c.Read(variables[start:end], uamsg.AttrUserAccessLevel)
+		if err != nil {
+			break
+		}
+		pause()
+		for i, dv := range vals {
+			if dv.Value != nil {
+				idx := nodeAt[variables[start+i].Key()]
+				res.Nodes[idx].UserAccessLevel = uamsg.AccessLevel(dv.Value.Uint)
+			}
+		}
+	}
+	for start := 0; start < len(methods) && !limitHit(); start += batch {
+		end := min(start+batch, len(methods))
+		vals, err := c.Read(methods[start:end], uamsg.AttrUserExecutable)
+		if err != nil {
+			break
+		}
+		pause()
+		for i, dv := range vals {
+			if dv.Value != nil {
+				idx := nodeAt[methods[start+i].Key()]
+				res.Nodes[idx].UserExecutable = dv.Value.Bool
+			}
+		}
+	}
+
+	if o.ReadValues {
+		reads := 0
+		for i := range res.Nodes {
+			if limitHit() || reads >= o.MaxValueReads {
+				break
+			}
+			n := &res.Nodes[i]
+			if n.Class != uamsg.NodeClassVariable || !n.UserAccessLevel.CanRead() {
+				continue
+			}
+			dv, err := c.ReadValue(n.ID)
+			if err != nil {
+				break
+			}
+			pause()
+			if dv.Value != nil {
+				v := *dv.Value
+				n.Value = &v
+			}
+			reads++
+		}
+	}
+	return res, nil
+}

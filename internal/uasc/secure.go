@@ -1,0 +1,732 @@
+package uasc
+
+import (
+	"crypto/rsa"
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/uacert"
+	"repro/internal/uamsg"
+	"repro/internal/uapolicy"
+	"repro/internal/uastatus"
+	"repro/internal/uatypes"
+)
+
+// ChannelSecurity selects the security applied to a channel.
+type ChannelSecurity struct {
+	Policy *uapolicy.Policy
+	Mode   uamsg.MessageSecurityMode
+	// LocalKey and LocalCertDER identify this side; required when the
+	// policy is not None.
+	LocalKey     *rsa.PrivateKey
+	LocalCertDER []byte
+	// RemoteCertDER is the peer certificate; required on the client when
+	// the policy is not None, learned from the OPN on the server.
+	RemoteCertDER []byte
+}
+
+// Channel is an established secure channel over a Transport.
+type Channel struct {
+	t   *Transport
+	sec ChannelSecurity
+
+	remotePub *rsa.PublicKey
+
+	ChannelID uint32
+	TokenID   uint32
+
+	sendSeq   uint32
+	nextReqID uint32
+
+	sendKeys *uapolicy.DerivedKeys
+	recvKeys *uapolicy.DerivedKeys
+
+	closed bool
+}
+
+// Security returns the channel's security settings.
+func (ch *Channel) Security() ChannelSecurity { return ch.sec }
+
+// RemoteCertificate returns the peer's certificate DER (nil for policy
+// None).
+func (ch *Channel) RemoteCertificate() []byte { return ch.sec.RemoteCertDER }
+
+// Transport returns the underlying transport.
+func (ch *Channel) Transport() *Transport { return ch.t }
+
+const (
+	sequenceHeaderSize = 8
+	padLenFieldSize    = 2
+	symHeaderSize      = 8 // channel id + token id
+)
+
+func encodeAsymHeader(policyURI string, senderCert, receiverThumb []byte) []byte {
+	e := uatypes.NewEncoder(32 + len(policyURI) + len(senderCert))
+	e.WriteString(policyURI)
+	e.WriteByteString(senderCert)
+	e.WriteByteString(receiverThumb)
+	return e.Bytes()
+}
+
+type asymHeader struct {
+	policyURI     string
+	senderCert    []byte
+	receiverThumb []byte
+	length        int
+}
+
+func decodeAsymHeader(b []byte) (asymHeader, error) {
+	d := uatypes.NewDecoder(b)
+	h := asymHeader{
+		policyURI:     d.ReadString(),
+		senderCert:    d.ReadByteString(),
+		receiverThumb: d.ReadByteString(),
+	}
+	h.length = d.Offset()
+	return h, d.Err()
+}
+
+// sealOpts captures the cryptographic treatment of one chunk.
+type sealOpts struct {
+	encrypt    bool
+	sign       bool
+	signKey    *rsa.PrivateKey // asymmetric signing
+	encryptKey *rsa.PublicKey  // asymmetric encryption
+	symKeys    *uapolicy.DerivedKeys
+	policy     *uapolicy.Policy
+}
+
+// seal assembles and secures one chunk. prefix is everything between the
+// message header and the sequence header (channel/token ids plus, for
+// OPN, the asymmetric security header). Returns the full wire frame.
+func seal(msgType string, chunkFlag byte, prefix, seqHdr, body []byte, o sealOpts) ([]byte, error) {
+	plain := make([]byte, 0, len(seqHdr)+len(body)+64)
+	plain = append(plain, seqHdr...)
+	plain = append(plain, body...)
+
+	var sigSize int
+	if o.sign {
+		if o.signKey != nil {
+			sigSize = o.policy.AsymSignatureSize(&o.signKey.PublicKey)
+		} else {
+			sigSize = o.policy.SymSignatureSize()
+		}
+	}
+
+	var msgSize, padLen, plainBlock, cipherBlock int
+	if o.encrypt {
+		var err error
+		if o.encryptKey != nil {
+			plainBlock, err = o.policy.AsymPlainBlockSize(o.encryptKey)
+			if err != nil {
+				return nil, err
+			}
+			cipherBlock = o.policy.AsymCipherBlockSize(o.encryptKey)
+		} else {
+			plainBlock = o.policy.SymBlockSize()
+			cipherBlock = plainBlock
+		}
+		unpadded := len(plain) + padLenFieldSize + sigSize
+		padLen = (plainBlock - unpadded%plainBlock) % plainBlock
+		plainTotal := unpadded + padLen
+		msgSize = chunkHeaderSize + len(prefix) + plainTotal/plainBlock*cipherBlock
+	} else {
+		msgSize = chunkHeaderSize + len(prefix) + len(plain) + sigSize
+	}
+
+	frame := make([]byte, 0, msgSize)
+	frame = append(frame, msgType...)
+	frame = append(frame, chunkFlag)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(msgSize))
+	frame = append(frame, prefix...)
+	securedStart := len(frame)
+	frame = append(frame, plain...)
+	if o.encrypt {
+		for i := 0; i < padLen; i++ {
+			frame = append(frame, byte(padLen))
+		}
+		frame = binary.LittleEndian.AppendUint16(frame, uint16(padLen))
+	}
+	if o.sign {
+		var sig []byte
+		var err error
+		if o.signKey != nil {
+			sig, err = o.policy.AsymSign(o.signKey, frame)
+		} else {
+			sig, err = o.policy.SymSign(o.symKeys, frame)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("uasc: signing chunk: %w", err)
+		}
+		frame = append(frame, sig...)
+	}
+	if o.encrypt {
+		var ct []byte
+		var err error
+		if o.encryptKey != nil {
+			ct, err = o.policy.AsymEncrypt(o.encryptKey, frame[securedStart:])
+		} else {
+			buf := frame[securedStart:]
+			err = o.policy.SymEncrypt(o.symKeys, buf)
+			ct = buf
+		}
+		if err != nil {
+			return nil, fmt.Errorf("uasc: encrypting chunk: %w", err)
+		}
+		frame = append(frame[:securedStart], ct...)
+	}
+	if len(frame) != msgSize {
+		return nil, fmt.Errorf("uasc: internal error: frame size %d != %d", len(frame), msgSize)
+	}
+	return frame, nil
+}
+
+// openOpts captures the treatment of a received chunk.
+type openOpts struct {
+	encrypted  bool
+	signed     bool
+	verifyKey  *rsa.PublicKey  // asymmetric verification (sender's key)
+	decryptKey *rsa.PrivateKey // asymmetric decryption (our key)
+	symKeys    *uapolicy.DerivedKeys
+	policy     *uapolicy.Policy
+}
+
+// open verifies and decrypts a received chunk body (without the 8-byte
+// message header) and returns sequence header and payload.
+func open(msgType string, chunkFlag byte, body []byte, prefixLen int, o openOpts) (seqHdr, payload []byte, err error) {
+	if len(body) < prefixLen {
+		return nil, nil, errors.New("uasc: chunk shorter than security header")
+	}
+	secured := body[prefixLen:]
+	if o.encrypted {
+		if o.decryptKey != nil {
+			secured, err = o.policy.AsymDecrypt(o.decryptKey, secured)
+		} else {
+			err = o.policy.SymDecrypt(o.symKeys, secured)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("uasc: decrypting chunk: %w", err)
+		}
+	}
+	if o.signed {
+		var sigSize int
+		if o.verifyKey != nil {
+			sigSize = o.policy.AsymSignatureSize(o.verifyKey)
+		} else {
+			sigSize = o.policy.SymSignatureSize()
+		}
+		if len(secured) < sigSize {
+			return nil, nil, errors.New("uasc: chunk shorter than signature")
+		}
+		sig := secured[len(secured)-sigSize:]
+		// Reassemble exactly the bytes the sender signed: header with the
+		// final frame size, plaintext prefix, secured region minus sig.
+		signed := make([]byte, 0, chunkHeaderSize+len(body))
+		signed = append(signed, msgType...)
+		signed = append(signed, chunkFlag)
+		signed = binary.LittleEndian.AppendUint32(signed, uint32(chunkHeaderSize+len(body)))
+		signed = append(signed, body[:prefixLen]...)
+		signed = append(signed, secured[:len(secured)-sigSize]...)
+		if o.verifyKey != nil {
+			err = o.policy.AsymVerify(o.verifyKey, signed, sig)
+		} else {
+			err = o.policy.SymVerify(o.symKeys, signed, sig)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("uasc: chunk signature: %w", err)
+		}
+		secured = secured[:len(secured)-sigSize]
+	}
+	if o.encrypted {
+		if len(secured) < padLenFieldSize {
+			return nil, nil, errors.New("uasc: chunk shorter than padding field")
+		}
+		padLen := int(binary.LittleEndian.Uint16(secured[len(secured)-padLenFieldSize:]))
+		if padLen+padLenFieldSize > len(secured) {
+			return nil, nil, errors.New("uasc: invalid padding length")
+		}
+		secured = secured[:len(secured)-padLenFieldSize-padLen]
+	}
+	if len(secured) < sequenceHeaderSize {
+		return nil, nil, errors.New("uasc: chunk shorter than sequence header")
+	}
+	return secured[:sequenceHeaderSize], secured[sequenceHeaderSize:], nil
+}
+
+// --- Client side ---
+
+// Open establishes a secure channel as a client. The transport must have
+// completed the Hello/Acknowledge handshake.
+func Open(t *Transport, sec ChannelSecurity, lifetimeMS uint32) (*Channel, error) {
+	ch := &Channel{t: t, sec: sec, nextReqID: 1}
+	if sec.Policy == nil {
+		return nil, errors.New("uasc: nil policy")
+	}
+	if !sec.Policy.Insecure {
+		if sec.LocalKey == nil || len(sec.LocalCertDER) == 0 {
+			return nil, errors.New("uasc: policy requires a local certificate and key")
+		}
+		if len(sec.RemoteCertDER) == 0 {
+			return nil, errors.New("uasc: policy requires the server certificate")
+		}
+		remote, err := uacert.Parse(sec.RemoteCertDER)
+		if err != nil {
+			return nil, fmt.Errorf("uasc: server certificate: %w", err)
+		}
+		ch.remotePub = remote.PublicKey
+	}
+
+	clientNonce := sec.Policy.NewNonce()
+	req := &uamsg.OpenSecureChannelRequest{
+		Header: uamsg.RequestHeader{
+			Timestamp:     time.Now(),
+			RequestHandle: 1,
+			TimeoutHint:   30000,
+		},
+		ClientProtocolVer: protocolVersion,
+		RequestType:       uamsg.SecurityTokenIssue,
+		SecurityMode:      sec.Mode,
+		ClientNonce:       clientNonce,
+		RequestedLifetime: lifetimeMS,
+	}
+	reqID := ch.newRequestID()
+	if err := ch.sendOPN(reqID, uamsg.Encode(req)); err != nil {
+		return nil, err
+	}
+
+	chunk, err := readRaw(t.Conn, t.recv.ReceiveBufSize)
+	if err != nil {
+		return nil, fmt.Errorf("uasc: reading OPN response: %w", err)
+	}
+	if chunk.msgType == uamsg.MsgTypeError {
+		if ce, derr := uamsg.DecodeConnError(chunk.body); derr == nil {
+			return nil, ce
+		}
+		return nil, errors.New("uasc: malformed error during open")
+	}
+	if chunk.msgType != uamsg.MsgTypeOpen {
+		return nil, fmt.Errorf("uasc: unexpected %q during open", chunk.msgType)
+	}
+	msg, err := ch.openOPN(chunk)
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := msg.(*uamsg.OpenSecureChannelResponse)
+	if !ok {
+		if f, isFault := msg.(*uamsg.ServiceFault); isFault {
+			return nil, fmt.Errorf("uasc: open rejected: %w", f.Header.ServiceResult)
+		}
+		return nil, fmt.Errorf("uasc: unexpected %T during open", msg)
+	}
+	if resp.Header.ServiceResult.IsBad() {
+		return nil, fmt.Errorf("uasc: open rejected: %w", resp.Header.ServiceResult)
+	}
+	ch.ChannelID = resp.SecurityToken.ChannelID
+	ch.TokenID = resp.SecurityToken.TokenID
+	if !sec.Policy.Insecure {
+		if ch.sendKeys, err = sec.Policy.DeriveKeys(resp.ServerNonce, clientNonce); err != nil {
+			return nil, err
+		}
+		if ch.recvKeys, err = sec.Policy.DeriveKeys(clientNonce, resp.ServerNonce); err != nil {
+			return nil, err
+		}
+	}
+	return ch, nil
+}
+
+func (ch *Channel) newRequestID() uint32 { return atomic.AddUint32(&ch.nextReqID, 1) }
+
+func (ch *Channel) nextSeq() uint32 { return atomic.AddUint32(&ch.sendSeq, 1) }
+
+func seqHeader(seq, reqID uint32) []byte {
+	b := make([]byte, sequenceHeaderSize)
+	binary.LittleEndian.PutUint32(b[:4], seq)
+	binary.LittleEndian.PutUint32(b[4:], reqID)
+	return b
+}
+
+// sendOPN sends an asymmetric-secured OPN chunk.
+func (ch *Channel) sendOPN(reqID uint32, body []byte) error {
+	var thumb []byte
+	var senderCert []byte
+	secure := !ch.sec.Policy.Insecure
+	if secure {
+		senderCert = ch.sec.LocalCertDER
+		sum := sha1.Sum(ch.sec.RemoteCertDER)
+		thumb = sum[:]
+	}
+	prefix := make([]byte, 4, 4+64)
+	binary.LittleEndian.PutUint32(prefix, ch.ChannelID)
+	prefix = append(prefix, encodeAsymHeader(ch.sec.Policy.URI, senderCert, thumb)...)
+
+	frame, err := seal(uamsg.MsgTypeOpen, uamsg.ChunkFinal, prefix,
+		seqHeader(ch.nextSeq(), reqID), body, sealOpts{
+			encrypt:    secure,
+			sign:       secure,
+			signKey:    ch.sec.LocalKey,
+			encryptKey: ch.remotePub,
+			policy:     ch.sec.Policy,
+		})
+	if err != nil {
+		return err
+	}
+	if _, err := ch.t.Conn.Write(frame); err != nil {
+		return fmt.Errorf("uasc: sending OPN: %w", err)
+	}
+	return nil
+}
+
+// openOPN verifies/decrypts a received OPN chunk and decodes its message.
+func (ch *Channel) openOPN(chunk rawChunk) (uamsg.Message, error) {
+	if len(chunk.body) < 4 {
+		return nil, errors.New("uasc: OPN chunk too short")
+	}
+	hdr, err := decodeAsymHeader(chunk.body[4:])
+	if err != nil {
+		return nil, fmt.Errorf("uasc: OPN security header: %w", err)
+	}
+	if hdr.policyURI != ch.sec.Policy.URI {
+		return nil, fmt.Errorf("uasc: OPN policy %q, expected %q", hdr.policyURI, ch.sec.Policy.URI)
+	}
+	secure := !ch.sec.Policy.Insecure
+	var verifyKey *rsa.PublicKey
+	if secure {
+		sender, err := uacert.Parse(hdr.senderCert)
+		if err != nil {
+			return nil, fmt.Errorf("uasc: OPN sender certificate: %w", err)
+		}
+		verifyKey = sender.PublicKey
+	}
+	_, payload, err := open(chunk.msgType, chunk.chunkType, chunk.body, 4+hdr.length, openOpts{
+		encrypted:  secure,
+		signed:     secure,
+		verifyKey:  verifyKey,
+		decryptKey: ch.sec.LocalKey,
+		policy:     ch.sec.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return uamsg.Decode(payload)
+}
+
+// maxChunkBody returns how many payload bytes fit into one MSG chunk.
+func (ch *Channel) maxChunkBody() int {
+	avail := int(ch.t.send.SendBufSize) - chunkHeaderSize - symHeaderSize - sequenceHeaderSize
+	switch {
+	case ch.sec.Mode == uamsg.SecurityModeSignAndEncrypt:
+		block := ch.sec.Policy.SymBlockSize()
+		avail -= ch.sec.Policy.SymSignatureSize() + padLenFieldSize + block
+		avail = avail / block * block
+	case ch.sec.Mode == uamsg.SecurityModeSign:
+		avail -= ch.sec.Policy.SymSignatureSize()
+	}
+	if avail < 1 {
+		avail = 1
+	}
+	return avail
+}
+
+// sendSecured sends a service message as one or more MSG/CLO chunks.
+func (ch *Channel) sendSecured(msgType string, reqID uint32, body []byte) error {
+	maxBody := ch.maxChunkBody()
+	nChunks := (len(body) + maxBody - 1) / maxBody
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	if lim := ch.t.send.MaxChunkCount; lim > 0 && uint32(nChunks) > lim {
+		return ErrTooManyChunks
+	}
+	prefix := make([]byte, symHeaderSize)
+	binary.LittleEndian.PutUint32(prefix[:4], ch.ChannelID)
+	binary.LittleEndian.PutUint32(prefix[4:], ch.TokenID)
+
+	opts := sealOpts{
+		encrypt: ch.sec.Mode == uamsg.SecurityModeSignAndEncrypt,
+		sign:    ch.sec.Mode != uamsg.SecurityModeNone,
+		symKeys: ch.sendKeys,
+		policy:  ch.sec.Policy,
+	}
+	for i := 0; i < nChunks; i++ {
+		start := i * maxBody
+		end := start + maxBody
+		if end > len(body) {
+			end = len(body)
+		}
+		flag := byte(uamsg.ChunkIntermediate)
+		if i == nChunks-1 {
+			flag = uamsg.ChunkFinal
+		}
+		frame, err := seal(msgType, flag, prefix, seqHeader(ch.nextSeq(), reqID), body[start:end], opts)
+		if err != nil {
+			return err
+		}
+		if _, err := ch.t.Conn.Write(frame); err != nil {
+			return fmt.Errorf("uasc: sending %s chunk: %w", msgType, err)
+		}
+	}
+	return nil
+}
+
+// Received is one fully reassembled message.
+type Received struct {
+	MsgType   string // MSG, CLO or OPN (token renewal)
+	RequestID uint32
+	Message   uamsg.Message
+}
+
+// Recv reads and reassembles the next message from the peer.
+func (ch *Channel) Recv() (*Received, error) {
+	var parts []byte
+	var reqID uint32
+	var chunks uint32
+	for {
+		chunk, err := readRaw(ch.t.Conn, ch.t.recv.ReceiveBufSize)
+		if err != nil {
+			return nil, err
+		}
+		switch chunk.msgType {
+		case uamsg.MsgTypeError:
+			if ce, derr := uamsg.DecodeConnError(chunk.body); derr == nil {
+				return nil, ce
+			}
+			return nil, errors.New("uasc: malformed ERR chunk")
+		case uamsg.MsgTypeOpen:
+			// Token renewal request mid-stream (server side).
+			msg, err := ch.openOPN(chunk)
+			if err != nil {
+				return nil, err
+			}
+			return &Received{MsgType: chunk.msgType, Message: msg}, nil
+		case uamsg.MsgTypeMessage, uamsg.MsgTypeClose:
+		default:
+			return nil, fmt.Errorf("uasc: unexpected message type %q", chunk.msgType)
+		}
+		if chunk.chunkType == uamsg.ChunkAbort {
+			return nil, ErrAborted
+		}
+		if len(chunk.body) < symHeaderSize {
+			return nil, errors.New("uasc: chunk shorter than symmetric header")
+		}
+		gotChannel := binary.LittleEndian.Uint32(chunk.body[:4])
+		gotToken := binary.LittleEndian.Uint32(chunk.body[4:8])
+		if gotChannel != ch.ChannelID {
+			return nil, fmt.Errorf("uasc: %w: channel %d", uastatus.BadSecureChannelIdInvalid, gotChannel)
+		}
+		if gotToken != ch.TokenID {
+			return nil, fmt.Errorf("uasc: %w: token %d", uastatus.BadSecureChannelTokenUnknown, gotToken)
+		}
+		seqHdr, payload, err := open(chunk.msgType, chunk.chunkType, chunk.body, symHeaderSize, openOpts{
+			encrypted: ch.sec.Mode == uamsg.SecurityModeSignAndEncrypt,
+			signed:    ch.sec.Mode != uamsg.SecurityModeNone,
+			symKeys:   ch.recvKeys,
+			policy:    ch.sec.Policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		id := binary.LittleEndian.Uint32(seqHdr[4:])
+		if parts == nil {
+			reqID = id
+		} else if id != reqID {
+			return nil, fmt.Errorf("uasc: interleaved request ids %d and %d", reqID, id)
+		}
+		parts = append(parts, payload...)
+		chunks++
+		if lim := ch.t.recv.MaxChunkCount; lim > 0 && chunks > lim {
+			return nil, ErrTooManyChunks
+		}
+		if lim := ch.t.recv.MaxMessageSize; lim > 0 && uint32(len(parts)) > lim {
+			return nil, ErrMessageTooBig
+		}
+		if chunk.chunkType == uamsg.ChunkFinal {
+			msg, err := uamsg.Decode(parts)
+			if err != nil {
+				return nil, err
+			}
+			return &Received{MsgType: chunk.msgType, RequestID: reqID, Message: msg}, nil
+		}
+	}
+}
+
+// Request sends a service request and waits for its response.
+func (ch *Channel) Request(req uamsg.Request) (uamsg.Message, error) {
+	reqID := ch.newRequestID()
+	if err := ch.sendSecured(uamsg.MsgTypeMessage, reqID, uamsg.Encode(req)); err != nil {
+		return nil, err
+	}
+	for {
+		got, err := ch.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if got.RequestID == reqID {
+			return got.Message, nil
+		}
+	}
+}
+
+// SendResponse sends a service response for the given request id.
+func (ch *Channel) SendResponse(reqID uint32, resp uamsg.Message) error {
+	return ch.sendSecured(uamsg.MsgTypeMessage, reqID, uamsg.Encode(resp))
+}
+
+// Close sends a CloseSecureChannel request and closes the transport.
+func (ch *Channel) Close() error {
+	if ch.closed {
+		return ErrClosed
+	}
+	ch.closed = true
+	req := &uamsg.CloseSecureChannelRequest{
+		Header: uamsg.RequestHeader{Timestamp: time.Now()},
+	}
+	_ = ch.sendSecured(uamsg.MsgTypeClose, ch.newRequestID(), uamsg.Encode(req))
+	return ch.t.Close()
+}
+
+// --- Server side ---
+
+// ServerConfig configures secure-channel acceptance.
+type ServerConfig struct {
+	Key     *rsa.PrivateKey
+	CertDER []byte
+	// AllowedModes returns the modes the server's endpoints advertise for
+	// the policy, or nil if the policy is not offered.
+	AllowedModes func(policy *uapolicy.Policy) []uamsg.MessageSecurityMode
+	// ValidateClientCert decides whether the client certificate is
+	// accepted. A nil func accepts everything.
+	ValidateClientCert func(der []byte) uastatus.Code
+	LifetimeMS         uint32
+}
+
+var channelIDCounter atomic.Uint32
+
+// Accept performs the server side of secure-channel establishment.
+func Accept(t *Transport, cfg ServerConfig) (*Channel, error) {
+	chunk, err := readRaw(t.Conn, t.recv.ReceiveBufSize)
+	if err != nil {
+		return nil, fmt.Errorf("uasc: reading OPN: %w", err)
+	}
+	if chunk.msgType != uamsg.MsgTypeOpen {
+		_ = sendError(t.Conn, uastatus.BadTcpMessageTypeInvalid, "expected OPN")
+		return nil, fmt.Errorf("uasc: unexpected %q instead of OPN", chunk.msgType)
+	}
+	if len(chunk.body) < 4 {
+		return nil, errors.New("uasc: OPN chunk too short")
+	}
+	hdr, err := decodeAsymHeader(chunk.body[4:])
+	if err != nil {
+		_ = sendError(t.Conn, uastatus.BadDecodingError, "bad OPN header")
+		return nil, fmt.Errorf("uasc: OPN security header: %w", err)
+	}
+	policy, ok := uapolicy.Lookup(hdr.policyURI)
+	if !ok {
+		_ = sendError(t.Conn, uastatus.BadSecurityPolicyRejected, "unknown policy")
+		return nil, fmt.Errorf("uasc: unknown policy %q", hdr.policyURI)
+	}
+	modes := cfg.AllowedModes(policy)
+	if len(modes) == 0 {
+		_ = sendError(t.Conn, uastatus.BadSecurityPolicyRejected, "policy not offered")
+		return nil, fmt.Errorf("uasc: policy %s not offered", policy.Name)
+	}
+
+	ch := &Channel{t: t, sec: ChannelSecurity{
+		Policy:       policy,
+		LocalKey:     cfg.Key,
+		LocalCertDER: cfg.CertDER,
+	}}
+	var clientPub *rsa.PublicKey
+	if !policy.Insecure {
+		if len(hdr.senderCert) == 0 {
+			_ = sendError(t.Conn, uastatus.BadSecurityChecksFailed, "missing client certificate")
+			return nil, errors.New("uasc: client sent no certificate")
+		}
+		if cfg.ValidateClientCert != nil {
+			if code := cfg.ValidateClientCert(hdr.senderCert); code.IsBad() {
+				_ = sendError(t.Conn, code, "client certificate rejected")
+				return nil, fmt.Errorf("uasc: client certificate rejected: %w", code)
+			}
+		}
+		clientCert, err := uacert.Parse(hdr.senderCert)
+		if err != nil {
+			_ = sendError(t.Conn, uastatus.BadCertificateInvalid, "unparseable certificate")
+			return nil, fmt.Errorf("uasc: client certificate: %w", err)
+		}
+		clientPub = clientCert.PublicKey
+		ch.sec.RemoteCertDER = hdr.senderCert
+		ch.remotePub = clientPub
+	}
+
+	_, payload, err := open(chunk.msgType, chunk.chunkType, chunk.body, 4+hdr.length, openOpts{
+		encrypted:  !policy.Insecure,
+		signed:     !policy.Insecure,
+		verifyKey:  clientPub,
+		decryptKey: cfg.Key,
+		policy:     policy,
+	})
+	if err != nil {
+		_ = sendError(t.Conn, uastatus.BadSecurityChecksFailed, "OPN security failure")
+		return nil, err
+	}
+	msg, err := uamsg.Decode(payload)
+	if err != nil {
+		_ = sendError(t.Conn, uastatus.BadDecodingError, "bad OPN body")
+		return nil, err
+	}
+	req, ok := msg.(*uamsg.OpenSecureChannelRequest)
+	if !ok {
+		_ = sendError(t.Conn, uastatus.BadTcpMessageTypeInvalid, "expected OpenSecureChannelRequest")
+		return nil, fmt.Errorf("uasc: unexpected %T in OPN", msg)
+	}
+	modeOK := false
+	for _, m := range modes {
+		if m == req.SecurityMode {
+			modeOK = true
+			break
+		}
+	}
+	if !modeOK {
+		_ = sendError(t.Conn, uastatus.BadSecurityModeRejected, "mode not offered")
+		return nil, fmt.Errorf("uasc: mode %v not offered with policy %s", req.SecurityMode, policy.Name)
+	}
+	ch.sec.Mode = req.SecurityMode
+
+	ch.ChannelID = channelIDCounter.Add(1)
+	ch.TokenID = 1
+	serverNonce := policy.NewNonce()
+	lifetime := req.RequestedLifetime
+	if cfg.LifetimeMS > 0 && (lifetime == 0 || lifetime > cfg.LifetimeMS) {
+		lifetime = cfg.LifetimeMS
+	}
+	resp := &uamsg.OpenSecureChannelResponse{
+		Header: uamsg.ResponseHeader{
+			Timestamp:     time.Now(),
+			RequestHandle: req.Header.RequestHandle,
+			ServiceResult: uastatus.Good,
+		},
+		ServerProtocolVer: protocolVersion,
+		SecurityToken: uamsg.ChannelSecurityToken{
+			ChannelID:       ch.ChannelID,
+			TokenID:         ch.TokenID,
+			CreatedAt:       time.Now(),
+			RevisedLifetime: lifetime,
+		},
+		ServerNonce: serverNonce,
+	}
+	if !policy.Insecure {
+		if ch.recvKeys, err = policy.DeriveKeys(serverNonce, req.ClientNonce); err != nil {
+			return nil, err
+		}
+		if ch.sendKeys, err = policy.DeriveKeys(req.ClientNonce, serverNonce); err != nil {
+			return nil, err
+		}
+	}
+	if err := ch.sendOPN(1, uamsg.Encode(resp)); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}

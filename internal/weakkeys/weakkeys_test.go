@@ -1,0 +1,150 @@
+package weakkeys
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func prime(t testing.TB, bits int) *big.Int {
+	t.Helper()
+	p, err := rand.Prime(rand.Reader, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// makeModuli builds n healthy moduli from distinct primes plus optionally
+// a pair sharing one prime.
+func makeModuli(t testing.TB, n int, planted bool) ([]*big.Int, []int) {
+	t.Helper()
+	moduli := make([]*big.Int, 0, n+2)
+	for i := 0; i < n; i++ {
+		moduli = append(moduli, new(big.Int).Mul(prime(t, 64), prime(t, 64)))
+	}
+	var weak []int
+	if planted {
+		shared := prime(t, 64)
+		a := new(big.Int).Mul(shared, prime(t, 64))
+		b := new(big.Int).Mul(shared, prime(t, 64))
+		weak = []int{len(moduli), len(moduli) + 1}
+		moduli = append(moduli, a, b)
+	}
+	return moduli, weak
+}
+
+func TestBatchGCDFindsPlantedSharedPrime(t *testing.T) {
+	moduli, weak := makeModuli(t, 10, true)
+	findings := BatchGCD(moduli, false)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d, want 2", len(findings))
+	}
+	for i, f := range findings {
+		if f.Index != weak[i] {
+			t.Errorf("finding %d index = %d, want %d", i, f.Index, weak[i])
+		}
+		if new(big.Int).Mod(moduli[f.Index], f.Factor).Sign() != 0 {
+			t.Errorf("factor does not divide modulus %d", f.Index)
+		}
+		if f.Factor.Cmp(big.NewInt(1)) <= 0 || f.Factor.Cmp(moduli[f.Index]) >= 0 {
+			t.Errorf("factor %v is trivial", f.Factor)
+		}
+	}
+}
+
+func TestBatchGCDCleanPopulation(t *testing.T) {
+	moduli, _ := makeModuli(t, 16, false)
+	if findings := BatchGCD(moduli, false); len(findings) != 0 {
+		t.Errorf("clean population produced findings: %v", findings)
+	}
+}
+
+func TestBatchGCDIdenticalModuliNotWeak(t *testing.T) {
+	// Hosts sharing a full certificate share the modulus; that is a
+	// reuse problem (§5.3), not a weak-key problem.
+	m := new(big.Int).Mul(prime(t, 64), prime(t, 64))
+	moduli := []*big.Int{m, new(big.Int).Set(m)}
+	if findings := BatchGCD(moduli, false); len(findings) != 0 {
+		t.Errorf("identical moduli flagged: %v", findings)
+	}
+	findings := BatchGCD(moduli, true)
+	if len(findings) != 2 {
+		t.Errorf("reportDuplicates should flag both copies, got %v", findings)
+	}
+}
+
+func TestBatchGCDSmallAndDegenerateInputs(t *testing.T) {
+	if BatchGCD(nil, false) != nil {
+		t.Error("nil input should return nil")
+	}
+	m := new(big.Int).Mul(prime(t, 64), prime(t, 64))
+	if BatchGCD([]*big.Int{m}, false) != nil {
+		t.Error("single modulus should return nil")
+	}
+	// nil and non-positive moduli are skipped, not crashed on.
+	moduli := []*big.Int{nil, big.NewInt(0), big.NewInt(-4), m,
+		new(big.Int).Mul(prime(t, 64), prime(t, 64))}
+	if findings := BatchGCD(moduli, false); len(findings) != 0 {
+		t.Errorf("degenerate input produced findings: %v", findings)
+	}
+}
+
+func TestBatchGCDMatchesPairwise(t *testing.T) {
+	// Property check: on random mixed populations both implementations
+	// flag the same set of indexes.
+	f := func(seed uint8) bool {
+		n := 4 + int(seed%8)
+		moduli, _ := makeModuli(t, n, seed%2 == 0)
+		batch := BatchGCD(moduli, false)
+		pair := PairwiseGCD(moduli)
+		if len(batch) != len(pair) {
+			return false
+		}
+		for i := range batch {
+			if batch[i].Index != pair[i].Index {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchGCDThreeWaySharedPrime(t *testing.T) {
+	shared := prime(t, 64)
+	moduli := []*big.Int{
+		new(big.Int).Mul(shared, prime(t, 64)),
+		new(big.Int).Mul(shared, prime(t, 64)),
+		new(big.Int).Mul(shared, prime(t, 64)),
+		new(big.Int).Mul(prime(t, 64), prime(t, 64)),
+	}
+	findings := BatchGCD(moduli, false)
+	if len(findings) != 3 {
+		t.Fatalf("findings = %d, want 3", len(findings))
+	}
+	for _, f := range findings {
+		if new(big.Int).Mod(moduli[f.Index], f.Factor).Sign() != 0 {
+			t.Errorf("factor does not divide modulus %d", f.Index)
+		}
+	}
+}
+
+func BenchmarkBatchGCD128(b *testing.B) {
+	moduli, _ := makeModuli(b, 128, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchGCD(moduli, false)
+	}
+}
+
+func BenchmarkPairwiseGCD128(b *testing.B) {
+	moduli, _ := makeModuli(b, 128, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PairwiseGCD(moduli)
+	}
+}

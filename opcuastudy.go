@@ -1,0 +1,270 @@
+// Package opcuastudy reproduces "Easing the Conscience with OPC UA: An
+// Internet-Wide Study on Insecure Deployments" (IMC '20). It wires the
+// simulated IPv4 Internet of OPC UA deployments, the zmap/zgrab2-style
+// scanner, and the security-configuration assessment into a campaign
+// API that regenerates every figure and table of the paper.
+//
+// Quick start:
+//
+//	c, err := opcuastudy.RunCampaign(ctx, opcuastudy.CampaignConfig{
+//	    Seed:  2020,
+//	    Waves: []int{7}, // just the paper's final measurement
+//	})
+//	for _, tbl := range c.Report() {
+//	    fmt.Println(tbl.Render())
+//	}
+package opcuastudy
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/deploy"
+	"repro/internal/report"
+	"repro/internal/scanner"
+	"repro/internal/uacert"
+	"repro/internal/uaclient"
+)
+
+// Re-exported types for the public API.
+type (
+	// WaveAnalysis is one measurement's full assessment.
+	WaveAnalysis = core.WaveAnalysis
+	// Longitudinal aggregates across waves (§5.5).
+	Longitudinal = core.Longitudinal
+	// HostRecord is one scanned host in the dataset.
+	HostRecord = dataset.HostRecord
+	// Table is a renderable report table.
+	Table = report.Table
+	// World is the materialized simulated Internet.
+	World = deploy.World
+)
+
+// CampaignConfig tunes a measurement campaign.
+type CampaignConfig struct {
+	// Seed drives the deterministic world generation.
+	Seed int64
+	// Waves selects wave indexes (0..7); nil runs all eight.
+	Waves []int
+	// TestKeySizes shrinks all RSA keys to 512 bits. World construction
+	// becomes fast, but certificate key-length analysis (Figure 4) is
+	// then meaningless; use only in tests.
+	TestKeySizes bool
+	// NoiseProb overrides the open-port noise probability.
+	NoiseProb float64
+	// GrabWorkers parallelizes the application-layer scan.
+	GrabWorkers int
+	// Anonymize applies the release anonymization to the stored records
+	// (the analysis runs before anonymization, like the paper's).
+	Anonymize bool
+	// Quiet suppresses progress output; otherwise Progressf receives
+	// status lines.
+	Progressf func(format string, args ...any)
+}
+
+// Campaign is a completed (or running) measurement campaign.
+type Campaign struct {
+	Config CampaignConfig
+	World  *deploy.World
+
+	// RecordsByWave holds the dataset (analysis-grade; anonymized copies
+	// are produced on export if requested).
+	RecordsByWave map[int][]*dataset.HostRecord
+	Analyses      []*core.WaveAnalysis
+	Long          *core.Longitudinal
+}
+
+func (cfg CampaignConfig) progressf(format string, args ...any) {
+	if cfg.Progressf != nil {
+		cfg.Progressf(format, args...)
+	}
+}
+
+// NewScannerIdentity generates the scanner's self-signed certificate,
+// with contact information in the subject as the paper recommends.
+func NewScannerIdentity(bits int) (*rsa.PrivateKey, *uacert.Certificate, error) {
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opcuastudy: scanner key: %w", err)
+	}
+	cert, err := uacert.Generate(key, uacert.Options{
+		CommonName:     "research scanner - opt out at https://example.org/opcua-study",
+		Organization:   "Internet Measurement Research",
+		ApplicationURI: "urn:repro:opcua:scanner",
+		SignatureHash:  uacert.HashSHA256,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("opcuastudy: scanner cert: %w", err)
+	}
+	return key, cert, nil
+}
+
+// BuildWorld generates and materializes the simulated Internet.
+func BuildWorld(cfg CampaignConfig) (*deploy.World, error) {
+	spec, err := deploy.BuildSpec(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return deploy.Materialize(spec, deploy.Options{
+		TestKeySizes: cfg.TestKeySizes,
+		NoiseProb:    cfg.NoiseProb,
+	})
+}
+
+// RunCampaign builds the world and executes the selected waves.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaign, error) {
+	cfg.progressf("building world (seed %d)...", cfg.Seed)
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunCampaignOnWorld(ctx, cfg, world)
+}
+
+// RunCampaignOnWorld executes waves against an existing world, allowing
+// reuse of the expensive materialization.
+func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.World) (*Campaign, error) {
+	scanBits := 2048
+	if cfg.TestKeySizes {
+		scanBits = 512
+	}
+	key, cert, err := NewScannerIdentity(scanBits)
+	if err != nil {
+		return nil, err
+	}
+	sc := &scanner.Scanner{
+		Dialer:  world.Net,
+		Key:     key,
+		CertDER: cert.Raw,
+		Timeout: 30 * time.Second,
+		Walk: uaclient.WalkOptions{
+			// The paper's politeness limits with the inter-request delay
+			// zeroed (no real operators to protect in the simulation).
+			Delay:       0,
+			MaxDuration: 60 * time.Minute,
+			MaxBytes:    50 << 20,
+			MaxNodes:    10000,
+		},
+		ApplicationURI: "urn:repro:opcua:scanner",
+	}
+
+	waves := cfg.Waves
+	if len(waves) == 0 {
+		waves = make([]int, len(deploy.WaveDates))
+		for i := range waves {
+			waves[i] = i
+		}
+	}
+
+	c := &Campaign{
+		Config:        cfg,
+		World:         world,
+		RecordsByWave: make(map[int][]*dataset.HostRecord),
+	}
+	workers := cfg.GrabWorkers
+	if workers <= 0 {
+		workers = 32
+	}
+	for _, w := range waves {
+		if err := world.ApplyWave(w); err != nil {
+			return nil, err
+		}
+		date := deploy.WaveDates[w]
+		cfg.progressf("wave %d (%s): scanning...", w, date.Format("2006-01-02"))
+		wave, err := scanner.RunWave(ctx, world.Net, sc, scanner.WaveConfig{
+			Date:             date,
+			FollowReferences: w >= deploy.FollowReferencesFromWave,
+			GrabWorkers:      workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("opcuastudy: wave %d: %w", w, err)
+		}
+		var recs []*dataset.HostRecord
+		for _, res := range wave.OPCUAResults() {
+			asn := asnOf(world, res.Address)
+			recs = append(recs, dataset.FromResult(res, w, date, asn))
+		}
+		c.RecordsByWave[w] = recs
+		analysis := core.AnalyzeWave(w, date, recs)
+		c.Analyses = append(c.Analyses, analysis)
+		cfg.progressf("wave %d: %d open ports, %d OPC UA hosts (%d servers, %d discovery), %.0f%% deficient",
+			w, wave.OpenPorts, len(recs), len(analysis.Servers), analysis.Discovery,
+			100*analysis.DeficientFrac)
+	}
+	c.Long = core.AnalyzeLongitudinal(c.Analyses)
+	return c, nil
+}
+
+func asnOf(world *deploy.World, address string) int {
+	ap, err := netip.ParseAddrPort(address)
+	if err != nil {
+		return 0
+	}
+	return world.ASOf(ap.Addr())
+}
+
+// Report renders every figure and table of the paper's evaluation.
+func (c *Campaign) Report() []*Table {
+	return report.All(c.Analyses, c.Long)
+}
+
+// LastWave returns the analysis of the final executed wave.
+func (c *Campaign) LastWave() *core.WaveAnalysis {
+	if len(c.Analyses) == 0 {
+		return nil
+	}
+	return c.Analyses[len(c.Analyses)-1]
+}
+
+// WriteDataset streams all records as JSONL, anonymized if configured.
+func (c *Campaign) WriteDataset(w io.Writer) error {
+	anon := dataset.NewAnonymizer()
+	var all []*dataset.HostRecord
+	for wi := 0; wi < len(deploy.WaveDates); wi++ {
+		for _, rec := range c.RecordsByWave[wi] {
+			if c.Config.Anonymize {
+				cp := *rec
+				if rec.Cert != nil {
+					cc := *rec.Cert
+					cp.Cert = &cc
+				}
+				cp.Nodes = append([]dataset.NodeRecord(nil), rec.Nodes...)
+				cp.Endpoints = append([]dataset.EndpointRecord(nil), rec.Endpoints...)
+				anon.Anonymize(&cp)
+				all = append(all, &cp)
+				continue
+			}
+			all = append(all, rec)
+		}
+	}
+	return dataset.Write(w, all)
+}
+
+// AnalyzeRecords rebuilds per-wave analyses from a loaded dataset
+// (cmd/reportgen's path: reproduce the figures from released data).
+func AnalyzeRecords(recs []*dataset.HostRecord) ([]*core.WaveAnalysis, *core.Longitudinal) {
+	byWave := map[int][]*dataset.HostRecord{}
+	maxWave := 0
+	for _, r := range recs {
+		byWave[r.Wave] = append(byWave[r.Wave], r)
+		if r.Wave > maxWave {
+			maxWave = r.Wave
+		}
+	}
+	var analyses []*core.WaveAnalysis
+	for w := 0; w <= maxWave; w++ {
+		if len(byWave[w]) == 0 {
+			continue
+		}
+		date := byWave[w][0].Date
+		analyses = append(analyses, core.AnalyzeWave(w, date, byWave[w]))
+	}
+	return analyses, core.AnalyzeLongitudinal(analyses)
+}

@@ -1,0 +1,290 @@
+package opcuastudy
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// The end-to-end fixture runs the paper's final measurement (wave 7)
+// once against the full 1114-server world with 512-bit test keys. All
+// figure-level assertions share it; key-length-dependent numbers
+// (Figure 4) are validated at spec level in internal/deploy and at full
+// fidelity by the benchmark harness.
+var (
+	e2eOnce sync.Once
+	e2eCamp *Campaign
+	e2eErr  error
+)
+
+func lastWaveCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("end-to-end campaign skipped in -short mode")
+	}
+	e2eOnce.Do(func() {
+		e2eCamp, e2eErr = RunCampaign(context.Background(), CampaignConfig{
+			Seed:         2020,
+			Waves:        []int{7},
+			TestKeySizes: true,
+			NoiseProb:    0.001,
+			GrabWorkers:  16,
+		})
+	})
+	if e2eErr != nil {
+		t.Fatal(e2eErr)
+	}
+	return e2eCamp
+}
+
+func TestEndToEndPopulation(t *testing.T) {
+	c := lastWaveCampaign(t)
+	w := c.LastWave()
+	if len(w.Servers) != 1114 {
+		t.Errorf("servers = %d, want 1114", len(w.Servers))
+	}
+	total := len(w.Records)
+	if total < 1761 || total > 2069 {
+		t.Errorf("total OPC UA hosts = %d, outside 1761–2069", total)
+	}
+	if w.Discovery != 807 {
+		t.Errorf("discovery servers = %d, want 807", w.Discovery)
+	}
+	// Manufacturer attribution (Figure 2).
+	if w.ByVendor["Bachmann"] != 406 || w.ByVendor["Beckhoff"] != 112 || w.ByVendor["Wago"] != 78 {
+		t.Errorf("manufacturers = %v", w.ByVendor)
+	}
+	// Follow-reference and non-default-port discoveries exist.
+	if w.ViaCounts["follow-reference"] == 0 {
+		t.Error("no hosts found via references")
+	}
+	if w.NonDefault == 0 {
+		t.Error("no hosts on non-default ports")
+	}
+}
+
+func TestEndToEndFigure3(t *testing.T) {
+	c := lastWaveCampaign(t)
+	w := c.LastWave()
+	if w.ModeSupport["None"] != 1035 || w.ModeSupport["Sign"] != 588 || w.ModeSupport["SignAndEncrypt"] != 843 {
+		t.Errorf("mode support = %v", w.ModeSupport)
+	}
+	if w.ModeLeast["None"] != 1035 || w.ModeLeast["Sign"] != 28 || w.ModeLeast["SignAndEncrypt"] != 51 {
+		t.Errorf("mode least = %v", w.ModeLeast)
+	}
+	if w.ModeMost["None"] != 270 || w.ModeMost["Sign"] != 1 || w.ModeMost["SignAndEncrypt"] != 843 {
+		t.Errorf("mode most = %v", w.ModeMost)
+	}
+	wantSupport := map[string]int{"N": 1035, "D1": 715, "D2": 762, "S1": 10, "S2": 564, "S3": 8}
+	for k, v := range wantSupport {
+		if w.PolicySupport[k] != v {
+			t.Errorf("policy support %s = %d, want %d", k, w.PolicySupport[k], v)
+		}
+	}
+	wantMost := map[string]int{"N": 270, "D1": 24, "D2": 256, "S1": 0, "S2": 556, "S3": 8}
+	for k, v := range wantMost {
+		if w.PolicyMost[k] != v {
+			t.Errorf("policy most %s = %d, want %d", k, w.PolicyMost[k], v)
+		}
+	}
+	if w.NoneOnly != 270 {
+		t.Errorf("None-only servers = %d, want 270", w.NoneOnly)
+	}
+	if w.DeprecatedBest != 280 {
+		t.Errorf("deprecated-best servers = %d, want 280", w.DeprecatedBest)
+	}
+	if w.SecureBest != 564 {
+		t.Errorf("secure-best servers = %d, want 564", w.SecureBest)
+	}
+	if w.EnforceSecure != 16 {
+		t.Errorf("enforcing servers = %d, want 16", w.EnforceSecure)
+	}
+}
+
+func TestEndToEndFigure5Reuse(t *testing.T) {
+	c := lastWaveCampaign(t)
+	w := c.LastWave()
+	clusters := w.ReuseClustersAtLeast(3)
+	if len(clusters) != 9 {
+		t.Fatalf("reuse clusters = %d, want 9", len(clusters))
+	}
+	wantSizes := []int{385, 32, 12, 9, 6, 5, 4, 3, 3}
+	for i, want := range wantSizes {
+		if clusters[i].Hosts != want {
+			t.Errorf("cluster %d hosts = %d, want %d", i, clusters[i].Hosts, want)
+		}
+	}
+	if clusters[0].ASes != 24 {
+		t.Errorf("big cluster ASes = %d, want 24", clusters[0].ASes)
+	}
+	// No shared primes among distinct keys (§5.3).
+	if w.WeakKeyFindings != 0 {
+		t.Errorf("weak key findings = %d, want 0", w.WeakKeyFindings)
+	}
+}
+
+func TestEndToEndTable2(t *testing.T) {
+	c := lastWaveCampaign(t)
+	w := c.LastWave()
+	check := func(combo string, want [5]int) {
+		t.Helper()
+		cell := w.AuthMatrix[combo]
+		if cell == nil {
+			t.Errorf("missing auth combo %q", combo)
+			return
+		}
+		got := [5]int{cell.Production, cell.Test, cell.Unclassified, cell.RejectedAuth, cell.RejectedSC}
+		if got != want {
+			t.Errorf("combo %q = %v, want %v", combo, got, want)
+		}
+	}
+	check("Anonymous", [5]int{116, 8, 5, 9, 1})
+	check("UserName", [5]int{0, 0, 0, 464, 21})
+	check("Anonymous+UserName", [5]int{168, 20, 134, 38, 5})
+	check("UserName+Certificate", [5]int{0, 0, 0, 4, 7})
+	check("Anonymous+UserName+Certificate", [5]int{11, 14, 17, 17, 3})
+	check("UserName+Certificate+IssuedToken", [5]int{0, 0, 0, 0, 43})
+	check("Anonymous+UserName+Certificate+IssuedToken", [5]int{0, 0, 0, 6, 0})
+
+	if w.Accessible != 493 {
+		t.Errorf("accessible = %d, want 493", w.Accessible)
+	}
+	if w.RejectedSC != 80 {
+		t.Errorf("SC-rejected = %d, want 80", w.RejectedSC)
+	}
+	if w.Anonymous != 572 || w.AnonSCOK != 563 {
+		t.Errorf("anonymous = %d/%d, want 572/563", w.Anonymous, w.AnonSCOK)
+	}
+}
+
+func TestEndToEndFigure7(t *testing.T) {
+	c := lastWaveCampaign(t)
+	w := c.LastWave()
+	read, write, exec := w.ExposureCDFs()
+	if read.Len() != 493 {
+		t.Errorf("exposure sample = %d hosts, want 493", read.Len())
+	}
+	if s := read.Survival(0.97); s < 0.85 || s > 0.95 {
+		t.Errorf("frac hosts reading >97%% = %.2f, want ≈0.90", s)
+	}
+	if s := write.Survival(0.10); s < 0.28 || s > 0.38 {
+		t.Errorf("frac hosts writing >10%% = %.2f, want ≈0.33", s)
+	}
+	if s := exec.Survival(0.86); s < 0.56 || s > 0.66 {
+		t.Errorf("frac hosts executing >86%% = %.2f, want ≈0.61", s)
+	}
+}
+
+func TestEndToEndClassification(t *testing.T) {
+	c := lastWaveCampaign(t)
+	w := c.LastWave()
+	var prod, test, uncl int
+	for _, h := range w.Servers {
+		if !h.Record.Accessible() || h.Record.CertRejected {
+			continue
+		}
+		switch h.Classification.String() {
+		case "production":
+			prod++
+		case "test":
+			test++
+		default:
+			uncl++
+		}
+	}
+	if prod != 295 || test != 42 || uncl != 156 {
+		t.Errorf("classification = %d/%d/%d, want 295/42/156", prod, test, uncl)
+	}
+}
+
+func TestEndToEndDeficitsByVendor(t *testing.T) {
+	c := lastWaveCampaign(t)
+	w := c.LastWave()
+	// §B.1.1: one manufacturer has all devices on mode/policy None.
+	sigma := w.DeficitByVendor[core.DeficitNone]["SigmaPLC"]
+	if sigma != 15 {
+		t.Errorf("SigmaPLC None-only devices = %d, want 15", sigma)
+	}
+	// Certificate reuse concentrates on Bachmann (§5.3).
+	reuseBachmann := w.DeficitByVendor[core.DeficitCertReuse]["Bachmann"]
+	if reuseBachmann < 400 {
+		t.Errorf("Bachmann reused-cert devices = %d, want >= 400", reuseBachmann)
+	}
+}
+
+func TestEndToEndDatasetRoundTrip(t *testing.T) {
+	c := lastWaveCampaign(t)
+	var buf bytes.Buffer
+	if err := c.WriteDataset(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := dataset.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(c.RecordsByWave[7]) {
+		t.Fatalf("dataset round trip: %d records, want %d", len(recs), len(c.RecordsByWave[7]))
+	}
+	// The analysis from the serialized dataset must match the live one.
+	analyses, _ := AnalyzeRecords(recs)
+	re := analyses[len(analyses)-1]
+	w := c.LastWave()
+	if re.Accessible != w.Accessible || re.NoneOnly != w.NoneOnly ||
+		re.Anonymous != w.Anonymous || len(re.Servers) != len(w.Servers) {
+		t.Errorf("re-analysis differs: %d/%d/%d/%d vs %d/%d/%d/%d",
+			re.Accessible, re.NoneOnly, re.Anonymous, len(re.Servers),
+			w.Accessible, w.NoneOnly, w.Anonymous, len(w.Servers))
+	}
+}
+
+func TestEndToEndAnonymizedDataset(t *testing.T) {
+	c := lastWaveCampaign(t)
+	anonCfg := *c
+	anonCfg.Config.Anonymize = true
+	var buf bytes.Buffer
+	if err := anonCfg.WriteDataset(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "100.6") || strings.Contains(out, "100.7") {
+		t.Error("anonymized dataset leaks IP addresses")
+	}
+	if !strings.Contains(out, "host-1:") {
+		t.Error("anonymized dataset missing sequence addresses")
+	}
+	if strings.Contains(out, `"subject_org":"Bachmann"`) {
+		t.Error("anonymized dataset leaks certificate organizations")
+	}
+	recs, err := dataset.Read(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse clusters must survive anonymization (thumbprints stay).
+	analyses, _ := AnalyzeRecords(recs)
+	clusters := analyses[len(analyses)-1].ReuseClustersAtLeast(3)
+	if len(clusters) != 9 || clusters[0].Hosts != 385 {
+		t.Errorf("anonymized reuse clusters = %v", clusters)
+	}
+}
+
+func TestEndToEndReportRenders(t *testing.T) {
+	c := lastWaveCampaign(t)
+	tables := c.Report()
+	if len(tables) != 11 {
+		t.Fatalf("tables = %d, want 11", len(tables))
+	}
+	for _, tbl := range tables {
+		text := tbl.Render()
+		if len(text) == 0 || !strings.Contains(text, tbl.Title) {
+			t.Errorf("table %q renders empty", tbl.Title)
+		}
+		if csv := tbl.CSV(); !strings.Contains(csv, ",") {
+			t.Errorf("table %q CSV empty", tbl.Title)
+		}
+	}
+}
