@@ -14,6 +14,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -214,16 +215,73 @@ func BenchmarkSection55Longitudinal(b *testing.B) {
 }
 
 // BenchmarkCampaignWave measures one complete measurement wave (port
-// scan, grabs, follow-ups) against the materialized world.
+// scan, grabs, follow-ups) against the materialized world, comparing
+// the streaming work-queue scheduler against the legacy depth-barrier
+// design at equal GrabWorkers (see EXPERIMENTS.md).
 func BenchmarkCampaignWave(b *testing.B) {
 	c := benchCampaign(b)
-	cfg := c.Config
-	cfg.Waves = []int{7}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := RunCampaignOnWorld(context.Background(), cfg, c.World); err != nil {
-			b.Fatal(err)
-		}
+	for _, mode := range []struct {
+		name    string
+		barrier bool
+	}{
+		{"streaming", false},
+		{"barrier", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := c.Config
+			cfg.Waves = []int{7}
+			cfg.Barrier = mode.barrier
+			for i := 0; i < b.N; i++ {
+				if _, err := RunCampaignOnWorld(context.Background(), cfg, c.World); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignPipeline measures a three-wave campaign end to end.
+// "overlapped" is the full streaming pipeline: streaming grab queue,
+// parallel per-host assessment, and wave w-1's analysis running while
+// wave w scans. "sequential-barrier" is the legacy design: depth
+// barriers, serial assessment, analysis blocking the next scan.
+//
+// Dials get a small artificial RTT (both variants, equally): the
+// zero-latency simulation is purely CPU-bound, where overlapping two
+// CPU-bound stages cannot win wall clock — the real zmap/zgrab2-style
+// pipeline the paper runs is network-bound, which is what the overlap
+// (and the absence of depth barriers) exploits.
+func BenchmarkCampaignPipeline(b *testing.B) {
+	c := benchCampaign(b)
+	c.World.Net.SetLatency(25 * time.Millisecond)
+	defer c.World.Net.SetLatency(0)
+	for _, mode := range []struct {
+		name string
+		tune func(*CampaignConfig)
+	}{
+		{"overlapped", func(cfg *CampaignConfig) {}},
+		{"sequential-barrier", func(cfg *CampaignConfig) {
+			cfg.Barrier = true
+			cfg.Sequential = true
+			cfg.AnalyzeWorkers = 1
+		}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := c.Config
+			cfg.Waves = []int{5, 6, 7}
+			mode.tune(&cfg)
+			for i := 0; i < b.N; i++ {
+				run, err := RunCampaignOnWorld(context.Background(), cfg, c.World)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last := run.LastWave()
+				if len(last.Servers) != 1114 {
+					b.Fatalf("servers = %d, want 1114", len(last.Servers))
+				}
+				b.ReportMetric(float64(len(last.Servers)), "servers")
+			}
+		})
 	}
 }
 

@@ -7,6 +7,7 @@
 //
 //	measure [-seed 2020] [-waves 0-7] [-dataset out.jsonl] [-anonymize]
 //	        [-testkeys] [-noise 0.002] [-csv]
+//	        [-grab-workers 32] [-analyze-workers 0] [-sequential]
 package main
 
 import (
@@ -56,6 +57,9 @@ func main() {
 	testKeys := flag.Bool("testkeys", false, "use 512-bit keys (fast, breaks key-length analysis)")
 	noise := flag.Float64("noise", 0.002, "open-port noise probability")
 	csv := flag.Bool("csv", false, "print tables as CSV instead of text")
+	grabWorkers := flag.Int("grab-workers", 0, "scanner worker pool size (0 = default 32)")
+	analyzeWorkers := flag.Int("analyze-workers", 0, "assessment worker pool size (0 = GOMAXPROCS)")
+	sequential := flag.Bool("sequential", false, "disable the cross-wave scan/analysis overlap")
 	flag.Parse()
 
 	waveList, err := parseWaves(*waves)
@@ -63,11 +67,14 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := opcuastudy.CampaignConfig{
-		Seed:         *seed,
-		Waves:        waveList,
-		TestKeySizes: *testKeys,
-		NoiseProb:    *noise,
-		Anonymize:    *anonymize,
+		Seed:           *seed,
+		Waves:          waveList,
+		TestKeySizes:   *testKeys,
+		NoiseProb:      *noise,
+		Anonymize:      *anonymize,
+		GrabWorkers:    *grabWorkers,
+		AnalyzeWorkers: *analyzeWorkers,
+		Sequential:     *sequential,
 		Progressf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -11,8 +11,10 @@ package core
 import (
 	"encoding/base64"
 	"math/big"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/addrspace"
@@ -205,8 +207,18 @@ func (c *AuthCell) Total() int {
 	return c.Production + c.Test + c.Unclassified + c.RejectedAuth + c.RejectedSC
 }
 
-// AnalyzeWave computes the full per-wave assessment.
+// AnalyzeWave computes the full per-wave assessment. Per-host work runs
+// on GOMAXPROCS workers; see AnalyzeWaveWorkers for the contract.
 func AnalyzeWave(wave int, date time.Time, recs []*dataset.HostRecord) *WaveAnalysis {
+	return AnalyzeWaveWorkers(wave, date, recs, 0)
+}
+
+// AnalyzeWaveWorkers is AnalyzeWave with an explicit worker count for
+// the per-host assessment stage (0 = GOMAXPROCS). assessHost is pure
+// given the precomputed cross-host reuse index, so hosts are assessed
+// on a fixed pool and merged in record order on a single goroutine —
+// the result is identical to a 1-worker run, field for field.
+func AnalyzeWaveWorkers(wave int, date time.Time, recs []*dataset.HostRecord, workers int) *WaveAnalysis {
 	a := &WaveAnalysis{
 		Wave: wave, Date: date,
 		ByVendor:        map[string]int{},
@@ -281,7 +293,8 @@ func AnalyzeWave(wave int, date time.Time, recs []*dataset.HostRecord) *WaveAnal
 	}
 	a.WeakKeyFindings = len(weakkeys.BatchGCD(moduli, false))
 
-	for _, r := range recs {
+	assessments := assessAll(recs, reused, workers)
+	for i, r := range recs {
 		if !r.ReachedOPCUA {
 			continue
 		}
@@ -290,7 +303,7 @@ func AnalyzeWave(wave int, date time.Time, recs []*dataset.HostRecord) *WaveAnal
 			a.Discovery++
 			continue
 		}
-		h := assessHost(r, reused)
+		h := assessments[i]
 		a.Servers = append(a.Servers, h)
 		a.ByVendor[h.Manufacturer]++
 		a.ViaCounts[r.Via]++
@@ -303,6 +316,46 @@ func AnalyzeWave(wave int, date time.Time, recs []*dataset.HostRecord) *WaveAnal
 		a.DeficientFrac = float64(a.Deficient) / float64(n)
 	}
 	return a
+}
+
+// assessAll runs assessHost for every assessable record on a fixed
+// worker pool, returning a slice parallel to recs (nil entries for
+// records that are skipped: unreachable hosts and discovery servers).
+func assessAll(recs []*dataset.HostRecord, reused map[string]bool, workers int) []*HostAssessment {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(recs) {
+		workers = len(recs)
+	}
+	out := make([]*HostAssessment, len(recs))
+	if workers <= 1 {
+		for i, r := range recs {
+			if r.ReachedOPCUA && !r.IsDiscovery() {
+				out[i] = assessHost(r, reused)
+			}
+		}
+		return out
+	}
+	indexes := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				out[i] = assessHost(recs[i], reused)
+			}
+		}()
+	}
+	for i, r := range recs {
+		if r.ReachedOPCUA && !r.IsDiscovery() {
+			indexes <- i
+		}
+	}
+	close(indexes)
+	wg.Wait()
+	return out
 }
 
 func assessHost(r *dataset.HostRecord, reused map[string]bool) *HostAssessment {

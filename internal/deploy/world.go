@@ -367,7 +367,9 @@ func buildSpaceWithVersion(hs *HostSpec, version string) (*addrspace.Space, erro
 }
 
 // ApplyWave registers the hosts present at the wave and removes the
-// rest. It must be called with increasing wave indexes.
+// rest. It fully re-registers the population, so waves may be applied
+// in any order and re-applied; campaigns sharing one world (tests,
+// benchmarks) rely on that.
 func (w *World) ApplyWave(wave int) error {
 	if wave < 0 || wave >= len(WaveDates) {
 		return fmt.Errorf("deploy: wave %d out of range", wave)

@@ -3,6 +3,7 @@ package scanner
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -20,20 +21,48 @@ type WaveConfig struct {
 	MaxFollowDepth int
 	// GrabWorkers parallelizes the application-layer stage.
 	GrabWorkers int
-	PortScan    PortScanConfig
+	// QueueSize caps the grab work queue's channel buffer; zero derives
+	// a default from GrabWorkers. The pending frontier itself is
+	// unbounded (the dispatcher holds overflow), so workers never block
+	// when they discover follow-up references.
+	QueueSize int
+	// Barrier selects the legacy depth-synchronized scheduling: every
+	// target of follow-up depth d completes before any target of depth
+	// d+1 starts. It exists as the baseline for BenchmarkCampaignWave;
+	// the streaming scheduler is strictly faster.
+	Barrier  bool
+	PortScan PortScanConfig
 }
 
 // Wave is the outcome of one measurement run.
 type Wave struct {
-	Date    time.Time
+	Date time.Time
+	// Results holds one entry per grabbed target, sorted deterministically
+	// (port-scan targets before follow-references, then by address) so
+	// equal campaigns produce byte-identical datasets regardless of
+	// worker scheduling.
 	Results []*Result
 	// OpenPorts is the number of addresses with TCP 4840 open (most are
 	// not OPC UA).
 	OpenPorts int
-	Duration  time.Duration
+	// Partial is true when the wave was cut short by context
+	// cancellation; Results then holds only the grabs that completed.
+	Partial  bool
+	Duration time.Duration
 }
 
 // RunWave executes a full measurement: port scan, grab, follow-ups.
+//
+// Targets flow through a single work queue consumed by a fixed pool of
+// cfg.GrabWorkers goroutines; follow-up references discovered mid-grab
+// are enqueued immediately (deduplicated against everything already
+// queued) instead of waiting for a whole depth to drain.
+//
+// Cancellation contract: if ctx is cancelled mid-wave, RunWave returns
+// the partial wave — every grab that completed before cancellation,
+// with Wave.Partial set — together with ctx's error. Callers that want
+// partial results on cancellation must therefore check the wave before
+// the error; a nil wave only occurs when the port-scan stage fails.
 func RunWave(ctx context.Context, nw *simnet.Network, sc *Scanner, cfg WaveConfig) (*Wave, error) {
 	start := time.Now()
 	if cfg.GrabWorkers <= 0 {
@@ -60,14 +89,129 @@ func RunWave(ctx context.Context, nw *simnet.Network, sc *Scanner, cfg WaveConfi
 		})
 	}
 
+	if cfg.Barrier {
+		wave.Results = runBarrier(ctx, sc, targets, cfg)
+	} else {
+		wave.Results = runStreaming(ctx, sc, targets, cfg)
+	}
+	sortResults(wave.Results)
+	err = ctx.Err()
+	wave.Partial = err != nil
+	wave.Duration = time.Since(start)
+	return wave, err
+}
+
+// grabJob is one queued target with its follow-up depth (0 = port scan).
+type grabJob struct {
+	target Target
+	depth  int
+}
+
+// grabOutcome is one finished grab plus the depth it ran at, so the
+// dispatcher can decide whether its follow-ups are still in range.
+type grabOutcome struct {
+	res   *Result
+	depth int
+}
+
+// runStreaming is the streaming scheduler: a fixed worker pool consumes
+// a single queue, and the dispatcher feeds follow-up references back in
+// as soon as the grab that discovered them completes. No depth barrier:
+// a depth-2 target can run while depth-0 stragglers are still in flight.
+func runStreaming(ctx context.Context, sc *Scanner, initial []Target, cfg WaveConfig) []*Result {
+	queueSize := cfg.QueueSize
+	if queueSize <= 0 {
+		queueSize = 2 * cfg.GrabWorkers
+	}
+	queue := make(chan grabJob, queueSize)
+	outcomes := make(chan grabOutcome, cfg.GrabWorkers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.GrabWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				outcomes <- grabOutcome{res: sc.Grab(ctx, j.target), depth: j.depth}
+			}
+		}()
+	}
+
+	seen := make(map[string]bool, len(initial))
+	pending := make([]grabJob, 0, len(initial))
+	for _, t := range initial {
+		if seen[t.Address] {
+			continue
+		}
+		seen[t.Address] = true
+		pending = append(pending, grabJob{target: t})
+	}
+
+	// The dispatcher selects on {enqueue next pending, receive outcome,
+	// cancellation} simultaneously, so a full queue can never deadlock
+	// against workers blocked on the outcome channel.
+	var results []*Result
+	inflight := 0
+	done := ctx.Done()
+	cancelled := false
+	for inflight > 0 || len(pending) > 0 {
+		var dispatch chan grabJob
+		var next grabJob
+		if len(pending) > 0 {
+			dispatch = queue
+			next = pending[0]
+		}
+		select {
+		case dispatch <- next:
+			pending = pending[1:]
+			inflight++
+		case out := <-outcomes:
+			inflight--
+			results = append(results, out.res)
+			// After cancellation, don't start new targets — only drain
+			// what is in flight.
+			if !cancelled && cfg.FollowReferences && out.depth < cfg.MaxFollowDepth {
+				for _, addr := range out.res.FollowUp {
+					if seen[addr] {
+						continue
+					}
+					seen[addr] = true
+					pending = append(pending, grabJob{
+						target: Target{Address: addr, Via: ViaReference},
+						depth:  out.depth + 1,
+					})
+				}
+			}
+		case <-done:
+			// Stop dispatching; in-flight grabs observe ctx themselves
+			// and finish quickly. Nil the channel so the loop drains
+			// outcomes instead of spinning on Done.
+			done = nil
+			cancelled = true
+			pending = nil
+		}
+	}
+	close(queue)
+	wg.Wait()
+	return results
+}
+
+// runBarrier is the legacy per-depth scheduler kept as a benchmark
+// baseline: all targets of one follow-up depth complete before the next
+// depth starts. Unlike the original seed implementation it still uses a
+// fixed worker pool rather than one goroutine per target.
+func runBarrier(ctx context.Context, sc *Scanner, targets []Target, cfg WaveConfig) []*Result {
 	seen := make(map[string]bool, len(targets))
 	for _, t := range targets {
 		seen[t.Address] = true
 	}
-
+	var all []*Result
 	for depth := 0; len(targets) > 0 && depth <= cfg.MaxFollowDepth; depth++ {
-		results := grabAll(ctx, sc, targets, cfg.GrabWorkers)
-		wave.Results = append(wave.Results, results...)
+		if ctx.Err() != nil {
+			break
+		}
+		results := grabBatch(ctx, sc, targets, cfg.GrabWorkers)
+		all = append(all, results...)
 		targets = nil
 		if !cfg.FollowReferences {
 			break
@@ -82,25 +226,44 @@ func RunWave(ctx context.Context, nw *simnet.Network, sc *Scanner, cfg WaveConfi
 			}
 		}
 	}
-	wave.Duration = time.Since(start)
-	return wave, ctx.Err()
+	return all
 }
 
-func grabAll(ctx context.Context, sc *Scanner, targets []Target, workers int) []*Result {
-	results := make([]*Result, len(targets))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, t := range targets {
-		wg.Add(1)
-		go func(i int, t Target) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = sc.Grab(ctx, t)
-		}(i, t)
+// grabBatch grabs one batch of targets on a fixed pool of workers.
+func grabBatch(ctx context.Context, sc *Scanner, targets []Target, workers int) []*Result {
+	if workers > len(targets) {
+		workers = len(targets)
 	}
+	results := make([]*Result, len(targets))
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				results[i] = sc.Grab(ctx, targets[i])
+			}
+		}()
+	}
+	for i := range targets {
+		indexes <- i
+	}
+	close(indexes)
 	wg.Wait()
 	return results
+}
+
+// sortResults orders a wave deterministically: port-scan discoveries
+// first (mirroring the pre-streaming depth order), then by address.
+func sortResults(results []*Result) {
+	sort.Slice(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		if (a.Via == ViaPortScan) != (b.Via == ViaPortScan) {
+			return a.Via == ViaPortScan
+		}
+		return a.Address < b.Address
+	})
 }
 
 // OPCUAResults filters a wave down to hosts that actually speak OPC UA.

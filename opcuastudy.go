@@ -59,13 +59,30 @@ type CampaignConfig struct {
 	TestKeySizes bool
 	// NoiseProb overrides the open-port noise probability.
 	NoiseProb float64
+	// MaxHosts truncates the simulated population (0 = all); paper
+	// fidelity needs the full world, tests can run small ones.
+	MaxHosts int
 	// GrabWorkers parallelizes the application-layer scan.
 	GrabWorkers int
+	// AnalyzeWorkers parallelizes per-host assessment inside
+	// core.AnalyzeWave (0 = GOMAXPROCS, 1 = serial).
+	AnalyzeWorkers int
+	// QueueSize caps the scanner's grab-queue channel buffer
+	// (0 = derived from GrabWorkers).
+	QueueSize int
+	// Barrier selects the legacy depth-synchronized grab scheduling
+	// instead of the streaming work queue (benchmark baseline).
+	Barrier bool
+	// Sequential disables the cross-wave overlap: record conversion and
+	// analysis run inline after each wave instead of concurrently with
+	// the next wave's scan (benchmark baseline).
+	Sequential bool
 	// Anonymize applies the release anonymization to the stored records
 	// (the analysis runs before anonymization, like the paper's).
 	Anonymize bool
 	// Quiet suppresses progress output; otherwise Progressf receives
-	// status lines.
+	// status lines. Progressf may be called from two goroutines
+	// concurrently unless Sequential is set.
 	Progressf func(format string, args ...any)
 }
 
@@ -115,6 +132,7 @@ func BuildWorld(cfg CampaignConfig) (*deploy.World, error) {
 	return deploy.Materialize(spec, deploy.Options{
 		TestKeySizes: cfg.TestKeySizes,
 		NoiseProb:    cfg.NoiseProb,
+		MaxHosts:     cfg.MaxHosts,
 	})
 }
 
@@ -172,8 +190,52 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 	if workers <= 0 {
 		workers = 32
 	}
+
+	// The campaign pipeline overlaps stages across waves: while wave w
+	// scans, wave w-1's record conversion and analysis run on the
+	// analyzer goroutine. World mutation (ApplyWave) stays serialized on
+	// this goroutine, so scanning itself remains one wave at a time;
+	// the analyzer only touches immutable scan results and the
+	// mutex-guarded, wave-stable AS mapping.
+	type scannedWave struct {
+		w    int
+		date time.Time
+		wave *scanner.Wave
+	}
+	analyze := func(sw scannedWave) {
+		var recs []*dataset.HostRecord
+		for _, res := range sw.wave.OPCUAResults() {
+			asn := asnOf(world, res.Address)
+			recs = append(recs, dataset.FromResult(res, sw.w, sw.date, asn))
+		}
+		c.RecordsByWave[sw.w] = recs
+		analysis := core.AnalyzeWaveWorkers(sw.w, sw.date, recs, cfg.AnalyzeWorkers)
+		c.Analyses = append(c.Analyses, analysis)
+		cfg.progressf("wave %d: %d open ports, %d OPC UA hosts (%d servers, %d discovery), %.0f%% deficient",
+			sw.w, sw.wave.OpenPorts, len(recs), len(analysis.Servers), analysis.Discovery,
+			100*analysis.DeficientFrac)
+	}
+
+	scanned := make(chan scannedWave, 1)
+	analyzerDone := make(chan struct{})
+	if cfg.Sequential {
+		close(analyzerDone)
+	} else {
+		go func() {
+			defer close(analyzerDone)
+			for sw := range scanned {
+				analyze(sw)
+			}
+		}()
+	}
+	finish := func() {
+		close(scanned)
+		<-analyzerDone
+	}
+
 	for _, w := range waves {
 		if err := world.ApplyWave(w); err != nil {
+			finish()
 			return nil, err
 		}
 		date := deploy.WaveDates[w]
@@ -182,22 +244,20 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 			Date:             date,
 			FollowReferences: w >= deploy.FollowReferencesFromWave,
 			GrabWorkers:      workers,
+			QueueSize:        cfg.QueueSize,
+			Barrier:          cfg.Barrier,
 		})
 		if err != nil {
+			finish()
 			return nil, fmt.Errorf("opcuastudy: wave %d: %w", w, err)
 		}
-		var recs []*dataset.HostRecord
-		for _, res := range wave.OPCUAResults() {
-			asn := asnOf(world, res.Address)
-			recs = append(recs, dataset.FromResult(res, w, date, asn))
+		if cfg.Sequential {
+			analyze(scannedWave{w: w, date: date, wave: wave})
+		} else {
+			scanned <- scannedWave{w: w, date: date, wave: wave}
 		}
-		c.RecordsByWave[w] = recs
-		analysis := core.AnalyzeWave(w, date, recs)
-		c.Analyses = append(c.Analyses, analysis)
-		cfg.progressf("wave %d: %d open ports, %d OPC UA hosts (%d servers, %d discovery), %.0f%% deficient",
-			w, wave.OpenPorts, len(recs), len(analysis.Servers), analysis.Discovery,
-			100*analysis.DeficientFrac)
 	}
+	finish()
 	c.Long = core.AnalyzeLongitudinal(c.Analyses)
 	return c, nil
 }

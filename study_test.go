@@ -3,6 +3,7 @@ package opcuastudy
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -40,6 +41,83 @@ func lastWaveCampaign(t *testing.T) *Campaign {
 		t.Fatal(e2eErr)
 	}
 	return e2eCamp
+}
+
+// TestCampaignPipelineMatchesSequential runs the same two waves on one
+// small world through the overlapped streaming pipeline and through the
+// legacy configuration (barrier grabs, serial analysis, no overlap) and
+// requires identical datasets and analyses. The world is shared, so
+// even certificate thumbprints must agree.
+func TestCampaignPipelineMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign equivalence skipped in -short mode")
+	}
+	cfg := CampaignConfig{
+		Seed:         2020,
+		Waves:        []int{6, 7},
+		TestKeySizes: true,
+		MaxHosts:     60,
+		NoiseProb:    1e-5,
+		GrabWorkers:  8,
+	}
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming, err := RunCampaignOnWorld(context.Background(), cfg, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := cfg
+	legacy.Barrier = true
+	legacy.Sequential = true
+	legacy.AnalyzeWorkers = 1
+	legacy.GrabWorkers = 1
+	sequential, err := RunCampaignOnWorld(context.Background(), legacy, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range cfg.Waves {
+		a, b := streaming.RecordsByWave[w], sequential.RecordsByWave[w]
+		if len(a) != len(b) {
+			t.Fatalf("wave %d: %d records vs %d", w, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Address != b[i].Address || a[i].Via != b[i].Via ||
+				(a[i].Cert == nil) != (b[i].Cert == nil) {
+				t.Fatalf("wave %d record %d: %s/%s vs %s/%s",
+					w, i, a[i].Address, a[i].Via, b[i].Address, b[i].Via)
+			}
+			if a[i].Cert != nil && a[i].Cert.Thumbprint != b[i].Cert.Thumbprint {
+				t.Errorf("wave %d record %d: thumbprint mismatch", w, i)
+			}
+		}
+	}
+	if len(streaming.Analyses) != len(sequential.Analyses) {
+		t.Fatalf("analyses = %d vs %d", len(streaming.Analyses), len(sequential.Analyses))
+	}
+	for i, sa := range streaming.Analyses {
+		qa := sequential.Analyses[i]
+		if sa.Wave != qa.Wave || len(sa.Servers) != len(qa.Servers) ||
+			sa.Discovery != qa.Discovery || sa.Accessible != qa.Accessible ||
+			sa.Anonymous != qa.Anonymous || sa.Deficient != qa.Deficient {
+			t.Errorf("wave %d analysis differs: %d/%d/%d/%d/%d vs %d/%d/%d/%d/%d",
+				sa.Wave, len(sa.Servers), sa.Discovery, sa.Accessible, sa.Anonymous, sa.Deficient,
+				len(qa.Servers), qa.Discovery, qa.Accessible, qa.Anonymous, qa.Deficient)
+		}
+		if !reflect.DeepEqual(sa.ModeSupport, qa.ModeSupport) ||
+			!reflect.DeepEqual(sa.PolicySupport, qa.PolicySupport) ||
+			!reflect.DeepEqual(sa.DeficitTotals, qa.DeficitTotals) {
+			t.Errorf("wave %d aggregates differ", sa.Wave)
+		}
+	}
+	if streaming.Long.TotalCerts != sequential.Long.TotalCerts ||
+		len(streaming.Long.Renewals) != len(sequential.Long.Renewals) {
+		t.Errorf("longitudinal differs: %d/%d certs, %d/%d renewals",
+			streaming.Long.TotalCerts, sequential.Long.TotalCerts,
+			len(streaming.Long.Renewals), len(sequential.Long.Renewals))
+	}
 }
 
 func TestEndToEndPopulation(t *testing.T) {
