@@ -7,7 +7,8 @@
 //
 //	measure [-seed 2020] [-waves 0-7] [-dataset out.jsonl] [-anonymize]
 //	        [-testkeys] [-noise 0.002] [-csv]
-//	        [-grab-workers 32] [-analyze-workers 0] [-sequential]
+//	        [-grab-workers 32] [-wave-workers 1] [-analyze-workers 0]
+//	        [-sequential]
 package main
 
 import (
@@ -58,6 +59,7 @@ func main() {
 	noise := flag.Float64("noise", 0.002, "open-port noise probability")
 	csv := flag.Bool("csv", false, "print tables as CSV instead of text")
 	grabWorkers := flag.Int("grab-workers", 0, "scanner worker pool size (0 = default 32)")
+	waveWorkers := flag.Int("wave-workers", 0, "waves scanned concurrently, each against its own immutable world view (0/1 = one at a time)")
 	analyzeWorkers := flag.Int("analyze-workers", 0, "assessment worker pool size (0 = GOMAXPROCS)")
 	sequential := flag.Bool("sequential", false, "disable the cross-wave scan/analysis overlap")
 	flag.Parse()
@@ -73,6 +75,7 @@ func main() {
 		NoiseProb:      *noise,
 		Anonymize:      *anonymize,
 		GrabWorkers:    *grabWorkers,
+		WaveWorkers:    *waveWorkers,
 		AnalyzeWorkers: *analyzeWorkers,
 		Sequential:     *sequential,
 		Progressf: func(format string, args ...any) {

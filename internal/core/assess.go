@@ -13,6 +13,7 @@ import (
 	"math/big"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -465,7 +466,7 @@ func accumulate(a *WaveAnalysis, h *HostAssessment) {
 	}
 
 	if r.Cert != nil {
-		key := r.Cert.Hash + "/" + itoa(r.Cert.Bits)
+		key := r.Cert.Hash + "/" + strconv.Itoa(r.Cert.Bits)
 		for _, p := range h.Policies {
 			if a.Conformance[p.Abbrev] == nil {
 				a.Conformance[p.Abbrev] = map[uapolicy.CertificateConformance]int{}
@@ -556,20 +557,6 @@ func tokenCombo(r *dataset.HostRecord) string {
 		return "none"
 	}
 	return strings.Join(parts, "+")
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [12]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
 }
 
 // ExposureCDFs returns the three Figure 7 distributions.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"net/netip"
+	"sync"
 	"time"
 
 	"repro/internal/addrspace"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/uamsg"
 	"repro/internal/uapolicy"
 	"repro/internal/uaserver"
+	"repro/internal/worldview"
 )
 
 // Options tunes world materialization.
@@ -40,6 +42,11 @@ type World struct {
 	Net  *simnet.Network
 	Keys *uacert.KeyPool
 
+	// mu serializes ApplyWave and SnapshotWave: both walk the per-host
+	// lazily-built server cache, and ApplyWave additionally mutates the
+	// shared Network. Snapshots themselves are immutable and need no
+	// lock once returned.
+	mu        sync.Mutex
 	hosts     []*worldHost
 	discovery []*worldDiscovery
 	wave      int
@@ -367,13 +374,23 @@ func buildSpaceWithVersion(hs *HostSpec, version string) (*addrspace.Space, erro
 }
 
 // ApplyWave registers the hosts present at the wave and removes the
-// rest. It fully re-registers the population, so waves may be applied
-// in any order and re-applied; campaigns sharing one world (tests,
-// benchmarks) rely on that.
+// rest, mutating the shared Network in place (the legacy execution
+// model; campaigns now scan immutable SnapshotWave views instead).
+//
+// Idempotency contract: ApplyWave fully re-registers the population
+// from the wave-indexed spec — it never reads the network's current
+// state — so waves may be applied in any order, re-applied, and
+// interleaved with SnapshotWave; the resulting network state depends
+// only on the last applied wave. Calls are serialized on the world's
+// mutex, so concurrent ApplyWave/SnapshotWave calls are safe (the
+// network then reflects whichever ApplyWave ran last).
+// TestApplyWaveIdempotent pins this contract.
 func (w *World) ApplyWave(wave int) error {
 	if wave < 0 || wave >= len(WaveDates) {
 		return fmt.Errorf("deploy: wave %d out of range", wave)
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	for _, wh := range w.hosts {
 		ip := netip.Addr(wh.spec.IP)
 		if wh.spec.PresentAt(wave) {
@@ -398,7 +415,54 @@ func (w *World) ApplyWave(wave int) error {
 }
 
 // CurrentWave returns the last applied wave index (-1 before the first).
-func (w *World) CurrentWave() int { return w.wave }
+func (w *World) CurrentWave() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.wave
+}
+
+// SnapshotWave builds an immutable worldview of the wave's population
+// without touching the shared Network: hosts and discovery servers
+// present at the wave are registered into a fresh sharded snapshot
+// that satisfies simnet.View. Noise, latency and exclusions are copied
+// from the network so the snapshot observes the identical Internet.
+// Snapshots for different waves share the underlying (concurrency-
+// safe) server instances, so any number of them can be scanned at the
+// same time.
+func (w *World) SnapshotWave(wave int) (*worldview.Snapshot, error) {
+	if wave < 0 || wave >= len(WaveDates) {
+		return nil, fmt.Errorf("deploy: wave %d out of range", wave)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b, err := worldview.NewBuilder(worldview.Config{
+		Universe: w.Net.Universe(),
+		Noise:    w.Net.NoiseModel(),
+		Latency:  w.Net.Latency(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, wh := range w.hosts {
+		if !wh.spec.PresentAt(wave) {
+			continue
+		}
+		srv, err := wh.serverAt(wave)
+		if err != nil {
+			return nil, err
+		}
+		b.AddHost(netip.Addr(wh.spec.IP), wh.spec.Port, wh.spec.ASN, srv)
+	}
+	for _, wd := range w.discovery {
+		if wave < len(wd.spec.Present) && wd.spec.Present[wave] {
+			b.AddHost(wd.spec.IP, 4840, wd.spec.ASN, wd.server)
+		}
+	}
+	for _, ip := range w.Net.ExcludedIPs() {
+		b.Exclude(ip)
+	}
+	return b.Build(), nil
+}
 
 // HostCert returns the certificate a host serves at the wave; nil if the
 // host index is out of the materialized range.

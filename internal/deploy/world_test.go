@@ -2,9 +2,12 @@ package deploy
 
 import (
 	"context"
+	"strconv"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/uacert"
 	"repro/internal/uaclient"
 )
 
@@ -209,4 +212,216 @@ func TestApplyWaveValidation(t *testing.T) {
 	if err := w.ApplyWave(len(WaveDates)); err == nil {
 		t.Error("out-of-range wave accepted")
 	}
+	if _, err := w.SnapshotWave(-1); err == nil {
+		t.Error("negative snapshot wave accepted")
+	}
+	if _, err := w.SnapshotWave(len(WaveDates)); err == nil {
+		t.Error("out-of-range snapshot wave accepted")
+	}
+}
+
+// presence captures which spec endpoints answer on the network, the
+// observable output of ApplyWave.
+func presence(w *World, maxHosts int) map[string]bool {
+	out := map[string]bool{}
+	for i := range w.Spec.Hosts {
+		if i >= maxHosts {
+			break
+		}
+		h := &w.Spec.Hosts[i]
+		out[h.IP.String()+":"+strconv.Itoa(h.Port)] = w.Net.OpenPort(h.IP, h.Port)
+	}
+	for i := range w.Spec.Discovery {
+		d := &w.Spec.Discovery[i]
+		out[d.IP.String()+":4840"] = w.Net.OpenPort(d.IP, 4840)
+	}
+	return out
+}
+
+// TestApplyWaveIdempotent pins the documented contract: network state
+// depends only on the last applied wave, regardless of what was
+// applied before (out of order, repeated, or nothing at all).
+func TestApplyWaveIdempotent(t *testing.T) {
+	const maxHosts = 80
+	fresh := materializeSmall(t, maxHosts)
+	if err := fresh.ApplyWave(3); err != nil {
+		t.Fatal(err)
+	}
+	want := presence(fresh, maxHosts)
+
+	replayed := materializeSmall(t, maxHosts)
+	for _, wave := range []int{3, 7, 0, 3, 3} {
+		if err := replayed.ApplyWave(wave); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if replayed.CurrentWave() != 3 {
+		t.Errorf("current wave = %d, want 3", replayed.CurrentWave())
+	}
+	got := presence(replayed, maxHosts)
+	for addr, open := range want {
+		if got[addr] != open {
+			t.Errorf("endpoint %s: open = %v after replay, want %v", addr, got[addr], open)
+		}
+	}
+}
+
+// TestApplyWaveConcurrentWithSnapshot drives ApplyWave and
+// SnapshotWave from concurrent goroutines; under -race this pins the
+// world-mutex serialization of the shared server cache.
+func TestApplyWaveConcurrentWithSnapshot(t *testing.T) {
+	w := materializeSmall(t, 40)
+	var wg sync.WaitGroup
+	for wave := 0; wave < len(WaveDates); wave++ {
+		wg.Add(2)
+		go func(wave int) {
+			defer wg.Done()
+			if err := w.ApplyWave(wave); err != nil {
+				t.Errorf("apply wave %d: %v", wave, err)
+			}
+		}(wave)
+		go func(wave int) {
+			defer wg.Done()
+			if _, err := w.SnapshotWave(wave); err != nil {
+				t.Errorf("snapshot wave %d: %v", wave, err)
+			}
+		}(wave)
+	}
+	wg.Wait()
+	if cw := w.CurrentWave(); cw < 0 || cw >= len(WaveDates) {
+		t.Errorf("current wave = %d", cw)
+	}
+}
+
+// TestSnapshotWaveMatchesApplyWave requires a wave's snapshot to
+// expose the exact same population as the mutable network after
+// ApplyWave: same open endpoints, same AS attribution, and live
+// servers behind them.
+func TestSnapshotWaveMatchesApplyWave(t *testing.T) {
+	const maxHosts = 80
+	w := materializeSmall(t, maxHosts)
+	for _, wave := range []int{0, 4, 7} {
+		snap, err := w.SnapshotWave(wave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.ApplyWave(wave); err != nil {
+			t.Fatal(err)
+		}
+		for i := range w.Spec.Hosts[:maxHosts] {
+			h := &w.Spec.Hosts[i]
+			net, view := w.Net.OpenPort(h.IP, h.Port), snap.OpenPort(h.IP, h.Port)
+			if net != view {
+				t.Errorf("wave %d host %d: network open=%v, snapshot open=%v", wave, h.Index, net, view)
+			}
+			if view && snap.ASOf(h.IP) != h.ASN {
+				t.Errorf("wave %d host %d: snapshot ASN = %d, want %d", wave, h.Index, snap.ASOf(h.IP), h.ASN)
+			}
+		}
+		// A present host must speak OPC UA through the snapshot.
+		var probe *HostSpec
+		for i := range w.Spec.Hosts[:maxHosts] {
+			h := &w.Spec.Hosts[i]
+			if h.PresentAt(wave) && !h.Hidden {
+				probe = h
+				break
+			}
+		}
+		if probe == nil {
+			continue
+		}
+		c, err := uaclient.Dial(context.Background(),
+			"opc.tcp://"+probe.IP.String()+":"+strconv.Itoa(probe.Port),
+			uaclient.Options{Dialer: snap, Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.OpenInsecureChannel(); err != nil {
+			t.Fatal(err)
+		}
+		eps, err := c.GetEndpoints()
+		c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eps) == 0 || eps[0].Server.ApplicationURI != probe.AppURI {
+			t.Errorf("wave %d: snapshot endpoints = %d", wave, len(eps))
+		}
+	}
+}
+
+// TestSnapshotWaveCertRenewal requires snapshots of different waves to
+// serve the pre- and post-renewal certificates respectively, even when
+// built out of order (the concurrent campaign materializes all waves
+// up front).
+func TestSnapshotWaveCertRenewal(t *testing.T) {
+	spec := buildSpec(t)
+	var renewal *HostSpec
+	for i := range spec.Hosts {
+		h := &spec.Hosts[i]
+		if h.Cert.RenewalWave > 0 && h.PresentAt(0) && h.PresentAt(7) && !h.Hidden {
+			renewal = h
+			break
+		}
+	}
+	if renewal == nil {
+		t.Skip("no always-present renewal host in spec")
+	}
+	w, err := Materialize(spec, Options{
+		TestKeySizes: true,
+		MaxHosts:     renewal.Index + 1,
+		NoiseProb:    0.0001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grabThumb := func(wave int) string {
+		t.Helper()
+		snap, err := w.SnapshotWave(wave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := uaclient.Dial(context.Background(),
+			"opc.tcp://"+renewal.IP.String()+":"+strconv.Itoa(renewal.Port),
+			uaclient.Options{Dialer: snap, Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.OpenInsecureChannel(); err != nil {
+			t.Fatal(err)
+		}
+		eps, err := c.GetEndpoints()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ep := range eps {
+			if len(ep.ServerCertificate) > 0 {
+				return thumbprintHex(t, ep.ServerCertificate)
+			}
+		}
+		t.Fatalf("wave %d: no certificate served", wave)
+		return ""
+	}
+	// Build the post-renewal snapshot first to prove order independence.
+	after := grabThumb(7)
+	before := grabThumb(renewal.Cert.RenewalWave - 1)
+	if before == after {
+		t.Error("snapshots serve the same certificate across the renewal")
+	}
+	if before != w.HostCert(renewal.Index, renewal.Cert.RenewalWave-1).ThumbprintHex() {
+		t.Error("pre-renewal snapshot serves the wrong certificate")
+	}
+	if after != w.HostCert(renewal.Index, 7).ThumbprintHex() {
+		t.Error("post-renewal snapshot serves the wrong certificate")
+	}
+}
+
+func thumbprintHex(t *testing.T, der []byte) string {
+	t.Helper()
+	c, err := uacert.Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.ThumbprintHex()
 }

@@ -6,6 +6,7 @@ package report
 
 import (
 	"fmt"
+	"strconv"
 	"sort"
 	"strings"
 
@@ -90,7 +91,8 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-func itoa(v int) string { return fmt.Sprintf("%d", v) }
+// itoa abbreviates strconv.Itoa for the dense table-row literals below.
+func itoa(v int) string { return strconv.Itoa(v) }
 
 func pct(n, total int) string {
 	if total == 0 {

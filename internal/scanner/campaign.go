@@ -58,12 +58,19 @@ type Wave struct {
 // are enqueued immediately (deduplicated against everything already
 // queued) instead of waiting for a whole depth to drain.
 //
+// The wave only reads nw — any simnet.View works, including the
+// immutable worldview snapshots the campaign materializes per wave, so
+// multiple RunWave calls against different views may run concurrently.
+// The scanner's Dialer should point at the same view so grabs observe
+// the population the port scan discovered.
+//
 // Cancellation contract: if ctx is cancelled mid-wave, RunWave returns
 // the partial wave — every grab that completed before cancellation,
-// with Wave.Partial set — together with ctx's error. Callers that want
-// partial results on cancellation must therefore check the wave before
-// the error; a nil wave only occurs when the port-scan stage fails.
-func RunWave(ctx context.Context, nw *simnet.Network, sc *Scanner, cfg WaveConfig) (*Wave, error) {
+// with Wave.Partial set — together with ctx's error. A cancellation
+// that lands during the port-scan stage returns an empty partial wave
+// (no grabs ran), so callers can always tell an interrupted wave from
+// one never started; the wave is never nil alongside a non-nil error.
+func RunWave(ctx context.Context, nw simnet.View, sc *Scanner, cfg WaveConfig) (*Wave, error) {
 	start := time.Now()
 	if cfg.GrabWorkers <= 0 {
 		cfg.GrabWorkers = 32
@@ -73,7 +80,8 @@ func RunWave(ctx context.Context, nw *simnet.Network, sc *Scanner, cfg WaveConfi
 	}
 	open, err := PortScan(ctx, nw, cfg.PortScan)
 	if err != nil {
-		return nil, fmt.Errorf("scanner: port scan: %w", err)
+		return &Wave{Date: cfg.Date, OpenPorts: len(open), Partial: true,
+			Duration: time.Since(start)}, fmt.Errorf("scanner: port scan: %w", err)
 	}
 	wave := &Wave{Date: cfg.Date, OpenPorts: len(open)}
 

@@ -20,9 +20,11 @@ type PortScanConfig struct {
 	Seed    uint64
 }
 
-// PortScan probes every address of the network's universe on the given
-// port in permuted order and returns the responsive addresses.
-func PortScan(ctx context.Context, nw *simnet.Network, cfg PortScanConfig) ([]netip.Addr, error) {
+// PortScan probes every address of the view's universe on the given
+// port in permuted order and returns the responsive addresses. The
+// view may be the live mutable Network or an immutable per-wave
+// worldview snapshot; either way PortScan only reads.
+func PortScan(ctx context.Context, nw simnet.View, cfg PortScanConfig) ([]netip.Addr, error) {
 	if cfg.Port == 0 {
 		cfg.Port = 4840
 	}

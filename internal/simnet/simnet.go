@@ -105,12 +105,41 @@ func (u *Universe) AddrAt(i uint64) (netip.Addr, error) {
 
 // Contains reports whether the universe contains the address.
 func (u *Universe) Contains(a netip.Addr) bool {
-	for _, p := range u.prefixes {
+	return u.PrefixIndex(a) >= 0
+}
+
+// PrefixIndex returns the index of the universe prefix containing the
+// address, or -1 if the address is outside the universe. Worldview
+// snapshots shard their host lookup by this index so concurrent
+// scanners working disjoint prefixes hit independent shards.
+func (u *Universe) PrefixIndex(a netip.Addr) int {
+	for i, p := range u.prefixes {
 		if p.Contains(a) {
-			return true
+			return i
 		}
 	}
-	return false
+	return -1
+}
+
+// NumPrefixes returns the number of prefixes in the universe.
+func (u *Universe) NumPrefixes() int { return len(u.prefixes) }
+
+// View is the read-only interface over the simulated Internet that the
+// scanner consumes: address-space enumeration, SYN-probe checks, AS
+// attribution and connection establishment. Both the legacy mutable
+// *Network and the immutable per-wave snapshots built by
+// internal/worldview satisfy it; DialContext additionally makes every
+// View a uaclient.Dialer.
+type View interface {
+	// Universe returns the scannable address space.
+	Universe() *Universe
+	// OpenPort reports whether a TCP connect would succeed, without
+	// spawning handlers (the port-scan fast path).
+	OpenPort(ip netip.Addr, port int) bool
+	// ASOf returns the autonomous system of an address.
+	ASOf(ip netip.Addr) int
+	// DialContext connects to "ip:port" like net.Dialer.
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
 }
 
 // Network is the simulated Internet.
@@ -209,21 +238,73 @@ func (n *Network) ASOf(ip netip.Addr) int {
 		return asn
 	}
 	n.mu.RUnlock()
+	return DefaultASN(ip)
+}
+
+// DefaultASN is the deterministic fallback AS attribution for addresses
+// without a registered host: a private-use ASN derived from the /16.
+// Snapshots use the same formula so every View agrees on AS mapping.
+func DefaultASN(ip netip.Addr) int {
 	return 64512 + int(addrToU32(ip)>>16)%1024
 }
 
-// isNoise deterministically decides whether an unregistered address
-// answers on port 4840 with a non-OPC-UA service.
-func (n *Network) isNoise(ip netip.Addr, port int) bool {
-	if port != 4840 || n.noiseProb <= 0 || !n.universe.Contains(ip) {
+// Noise is the deterministic open-port-but-not-OPC-UA model: Prob of
+// the universe's unregistered addresses answer on TCP 4840 with some
+// other service (the paper observes 99.95% of open ports are not
+// OPC UA). The decision is a pure hash of the address, so the mutable
+// Network and every immutable snapshot sharing the same Noise agree.
+type Noise struct {
+	Prob float64
+	Seed uint64
+}
+
+// Hit reports whether the address answers with a non-OPC-UA service.
+func (z Noise) Hit(u *Universe, ip netip.Addr, port int) bool {
+	// Cheap rejections first: the universe prefix walk only runs for
+	// dials that could plausibly be noise.
+	if port != 4840 || z.Prob <= 0 {
+		return false
+	}
+	return u.Contains(ip) && z.HitInUniverse(ip, port)
+}
+
+// HitInUniverse is Hit for an address the caller already resolved to a
+// universe prefix; it skips the containment walk (the port-scan hot
+// path calls this once per address).
+func (z Noise) HitInUniverse(ip netip.Addr, port int) bool {
+	if port != 4840 || z.Prob <= 0 {
 		return false
 	}
 	h := fnv.New64a()
 	b := ip.As4()
 	h.Write(b[:])
-	v := h.Sum64() ^ n.noiseSeed
+	v := h.Sum64() ^ z.Seed
 	// Map the hash to [0,1) and compare.
-	return float64(v%1000000)/1000000.0 < n.noiseProb
+	return float64(v%1000000)/1000000.0 < z.Prob
+}
+
+// isNoise deterministically decides whether an unregistered address
+// answers on port 4840 with a non-OPC-UA service.
+func (n *Network) isNoise(ip netip.Addr, port int) bool {
+	return Noise{Prob: n.noiseProb, Seed: n.noiseSeed}.Hit(n.universe, ip, port)
+}
+
+// NoiseModel returns the network's noise configuration, for snapshot
+// construction.
+func (n *Network) NoiseModel() Noise { return Noise{Prob: n.noiseProb, Seed: n.noiseSeed} }
+
+// Latency returns the artificial dial latency.
+func (n *Network) Latency() time.Duration { return n.latency }
+
+// ExcludedIPs returns a copy of the opt-out list.
+func (n *Network) ExcludedIPs() []netip.Addr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]netip.Addr, 0, len(n.excludedIPs))
+	for ip := range n.excludedIPs {
+		out = append(out, ip)
+	}
+	return out
 }
 
 // ErrRefused mirrors a TCP RST from a closed port.
@@ -270,7 +351,7 @@ func (n *Network) DialContext(ctx context.Context, network, address string) (net
 	if !ok {
 		if n.isNoise(ip, port) {
 			client, server := net.Pipe()
-			go noiseHandler(server)
+			go ServeNoise(server)
 			return client, nil
 		}
 		return nil, ErrRefused{Addr: address}
@@ -280,15 +361,19 @@ func (n *Network) DialContext(ctx context.Context, network, address string) (net
 	return client, nil
 }
 
-// noiseHandler emulates a non-OPC-UA service on port 4840: it reads a
+// ServeNoise emulates a non-OPC-UA service on port 4840: it reads a
 // little and responds with an HTTP error, as embedded web servers do.
-func noiseHandler(conn net.Conn) {
+// Exported so snapshot views serve the exact same noise behaviour.
+func ServeNoise(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
 	buf := make([]byte, 256)
 	_, _ = conn.Read(buf)
 	_, _ = conn.Write([]byte("HTTP/1.0 400 Bad Request\r\nConnection: close\r\n\r\n"))
 }
+
+// Compile-time check: the mutable network satisfies the read-only view.
+var _ View = (*Network)(nil)
 
 // OpenPort reports whether a TCP connect to the address would succeed,
 // without spawning handlers. The port-scan stage uses it as its fast

@@ -1,0 +1,224 @@
+// Package worldview provides immutable, shareable snapshots of the
+// simulated Internet at one measurement wave.
+//
+// The legacy execution model serializes every wave on the single
+// mutable simnet.Network: deploy.World.ApplyWave re-registers the
+// wave's population in place, so wave w+1 cannot scan until wave w is
+// done with the shared host table. A Snapshot inverts that ownership:
+// it is constructed once per wave from the world spec, never mutated
+// afterwards, and satisfies the same read-only simnet.View interface
+// the scanner consumes — so a campaign can materialize the views for
+// all N waves up front and run every wave's scan concurrently (see
+// DESIGN.md).
+//
+// Host lookup is sharded by universe address prefix: each /16 of the
+// scannable space owns an independent shard (plus one shard for hosts
+// outside the universe, e.g. hidden servers reached only through
+// references). Shards are immutable after Build, so concurrent
+// scanners read them without any locking and scanners working
+// disjoint prefixes touch disjoint memory.
+package worldview
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"strconv"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Config fixes the snapshot's universe and dial behaviour. Noise and
+// latency are copied from the network the snapshot stands in for, so a
+// wave scanned through a snapshot observes the exact same Internet as
+// one scanned through the mutable Network.
+type Config struct {
+	// Universe is the scannable address space (required).
+	Universe *simnet.Universe
+	// Noise is the deterministic open-port-but-not-OPC-UA model.
+	Noise simnet.Noise
+	// Latency delays every dial.
+	Latency time.Duration
+}
+
+// host is one registered endpoint of the snapshot.
+type host struct {
+	asn     int
+	handler simnet.ConnHandler
+}
+
+// shard is one prefix's slice of the host table. Immutable after
+// Build; maps are safe for unlimited concurrent readers.
+type shard struct {
+	hosts    map[netip.AddrPort]host
+	asOfIP   map[netip.Addr]int
+	excluded map[netip.Addr]bool
+}
+
+// Builder accumulates one wave's population and seals it into a
+// Snapshot. Builders are not safe for concurrent use; construction is
+// cheap (map inserts only — servers are built and cached by the world).
+type Builder struct {
+	cfg    Config
+	shards []shard
+	hosts  int
+	built  bool
+}
+
+// NewBuilder starts a snapshot with one shard per universe prefix plus
+// a catch-all shard for out-of-universe hosts.
+func NewBuilder(cfg Config) (*Builder, error) {
+	if cfg.Universe == nil {
+		return nil, fmt.Errorf("worldview: nil universe")
+	}
+	shards := make([]shard, cfg.Universe.NumPrefixes()+1)
+	for i := range shards {
+		shards[i] = shard{
+			hosts:    make(map[netip.AddrPort]host),
+			asOfIP:   make(map[netip.Addr]int),
+			excluded: make(map[netip.Addr]bool),
+		}
+	}
+	return &Builder{cfg: cfg, shards: shards}, nil
+}
+
+// shardFor maps an address to its prefix's shard; out-of-universe
+// addresses land in the final catch-all shard.
+func (b *Builder) shardFor(ip netip.Addr) *shard {
+	i := b.cfg.Universe.PrefixIndex(ip)
+	if i < 0 {
+		i = len(b.shards) - 1
+	}
+	return &b.shards[i]
+}
+
+// AddHost registers one endpoint. Adding the same ip:port twice
+// replaces the previous handler, mirroring Network.Register.
+func (b *Builder) AddHost(ip netip.Addr, port, asn int, h simnet.ConnHandler) {
+	s := b.shardFor(ip)
+	key := netip.AddrPortFrom(ip, uint16(port))
+	if _, ok := s.hosts[key]; !ok {
+		b.hosts++
+	}
+	s.hosts[key] = host{asn: asn, handler: h}
+	s.asOfIP[ip] = asn
+}
+
+// Exclude marks an IP as opted out (Appendix A.2): connects are
+// refused even if a host is registered there.
+func (b *Builder) Exclude(ip netip.Addr) {
+	b.shardFor(ip).excluded[ip] = true
+}
+
+// Build seals the population into an immutable Snapshot. The builder
+// must not be used afterwards.
+func (b *Builder) Build() *Snapshot {
+	if b.built {
+		panic("worldview: Build called twice")
+	}
+	b.built = true
+	return &Snapshot{cfg: b.cfg, shards: b.shards, hosts: b.hosts}
+}
+
+// Snapshot is the immutable world at one wave. It satisfies
+// simnet.View (and therefore uaclient.Dialer), so the scanner runs
+// against it exactly as it runs against the mutable Network — but any
+// number of snapshots can be scanned concurrently because nothing is
+// ever written after Build.
+type Snapshot struct {
+	cfg    Config
+	shards []shard
+	hosts  int
+}
+
+// Compile-time check: snapshots satisfy the scanner's view interface.
+var _ simnet.View = (*Snapshot)(nil)
+
+// Universe returns the scannable address space.
+func (s *Snapshot) Universe() *simnet.Universe { return s.cfg.Universe }
+
+// NumHosts returns the number of registered endpoints.
+func (s *Snapshot) NumHosts() int { return s.hosts }
+
+// NumShards returns the shard count (universe prefixes + 1).
+func (s *Snapshot) NumShards() int { return len(s.shards) }
+
+// shardFor resolves an address's shard with a single prefix walk; the
+// second result reports whether the address is inside the universe
+// (needed by the noise model, which only applies there).
+func (s *Snapshot) shardFor(ip netip.Addr) (*shard, bool) {
+	i := s.cfg.Universe.PrefixIndex(ip)
+	if i < 0 {
+		return &s.shards[len(s.shards)-1], false
+	}
+	return &s.shards[i], true
+}
+
+// OpenPort reports whether a TCP connect to the address would succeed,
+// without spawning handlers; the result matches DialContext exactly.
+func (s *Snapshot) OpenPort(ip netip.Addr, port int) bool {
+	sh, inUniverse := s.shardFor(ip)
+	if sh.excluded[ip] {
+		return false
+	}
+	if _, ok := sh.hosts[netip.AddrPortFrom(ip, uint16(port))]; ok {
+		return true
+	}
+	return inUniverse && s.cfg.Noise.HitInUniverse(ip, port)
+}
+
+// ASOf returns the autonomous system of an address; addresses without
+// a registered host get the same deterministic fallback as the
+// mutable Network.
+func (s *Snapshot) ASOf(ip netip.Addr) int {
+	sh, _ := s.shardFor(ip)
+	if asn, ok := sh.asOfIP[ip]; ok {
+		return asn
+	}
+	return simnet.DefaultASN(ip)
+}
+
+// DialContext implements the Dialer interface used by uaclient and the
+// scanner, with the same semantics as Network.DialContext.
+func (s *Snapshot) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	if network != "tcp" && network != "tcp4" {
+		return nil, fmt.Errorf("worldview: unsupported network %q", network)
+	}
+	hostStr, portStr, err := net.SplitHostPort(address)
+	if err != nil {
+		return nil, fmt.Errorf("worldview: %w", err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("worldview: invalid port %q", portStr)
+	}
+	ip, err := netip.ParseAddr(hostStr)
+	if err != nil {
+		return nil, fmt.Errorf("worldview: %w", err)
+	}
+	if s.cfg.Latency > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(s.cfg.Latency):
+		}
+	}
+	sh, inUniverse := s.shardFor(ip)
+	if sh.excluded[ip] {
+		return nil, simnet.ErrRefused{Addr: address}
+	}
+	h, ok := sh.hosts[netip.AddrPortFrom(ip, uint16(port))]
+	if !ok {
+		if inUniverse && s.cfg.Noise.HitInUniverse(ip, port) {
+			client, server := net.Pipe()
+			go simnet.ServeNoise(server)
+			return client, nil
+		}
+		return nil, simnet.ErrRefused{Addr: address}
+	}
+	client, server := net.Pipe()
+	go h.handler.HandleConn(server)
+	return client, nil
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -29,8 +30,10 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/report"
 	"repro/internal/scanner"
+	"repro/internal/simnet"
 	"repro/internal/uacert"
 	"repro/internal/uaclient"
+	"repro/internal/worldview"
 )
 
 // Re-exported types for the public API.
@@ -64,6 +67,12 @@ type CampaignConfig struct {
 	MaxHosts int
 	// GrabWorkers parallelizes the application-layer scan.
 	GrabWorkers int
+	// WaveWorkers bounds how many waves scan concurrently (0 or 1 =
+	// one wave at a time). Each wave scans its own immutable worldview
+	// snapshot, so any value is safe; the output is identical to the
+	// sequential run regardless (records and analyses are merged in
+	// wave order). Ignored when Sequential is set.
+	WaveWorkers int
 	// AnalyzeWorkers parallelizes per-host assessment inside
 	// core.AnalyzeWave (0 = GOMAXPROCS, 1 = serial).
 	AnalyzeWorkers int
@@ -81,7 +90,7 @@ type CampaignConfig struct {
 	// (the analysis runs before anonymization, like the paper's).
 	Anonymize bool
 	// Quiet suppresses progress output; otherwise Progressf receives
-	// status lines. Progressf may be called from two goroutines
+	// status lines. Progressf may be called from multiple goroutines
 	// concurrently unless Sequential is set.
 	Progressf func(format string, args ...any)
 }
@@ -96,6 +105,13 @@ type Campaign struct {
 	RecordsByWave map[int][]*dataset.HostRecord
 	Analyses      []*core.WaveAnalysis
 	Long          *core.Longitudinal
+
+	// Scans holds each executed wave's raw scan outcome. After a
+	// cancelled campaign it is the forensic record: waves that finished
+	// before cancellation appear complete, waves in flight when the
+	// context was cancelled appear with Wave.Partial set, and waves
+	// never started are absent.
+	Scans map[int]*scanner.Wave
 }
 
 func (cfg CampaignConfig) progressf(format string, args ...any) {
@@ -148,6 +164,24 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaign, error) {
 
 // RunCampaignOnWorld executes waves against an existing world, allowing
 // reuse of the expensive materialization.
+//
+// Execution model: the campaign never mutates the shared network.
+// Instead it materializes an immutable worldview snapshot per selected
+// wave up front and scans the snapshots on a pool of
+// cfg.WaveWorkers goroutines — waves pull their own frozen view of the
+// Internet rather than serializing on one mutable world, so any number
+// of waves can be in flight at once. Record conversion and analysis
+// run on the caller's goroutine in wave order as scans complete, which
+// keeps the dataset and every analysis byte-identical to a sequential
+// run (and, with WaveWorkers=1, preserves the scan/analysis overlap of
+// the streaming pipeline).
+//
+// Cancellation contract: if ctx is cancelled mid-campaign, the partial
+// Campaign is returned together with the first wave's error. Waves
+// finished before cancellation are fully analyzed; waves in flight
+// appear in Campaign.Scans with Wave.Partial set; waves never started
+// are absent from Scans. Campaign.Long is only computed on full
+// success.
 func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.World) (*Campaign, error) {
 	scanBits := 2048
 	if cfg.TestKeySizes {
@@ -157,8 +191,7 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 	if err != nil {
 		return nil, err
 	}
-	sc := &scanner.Scanner{
-		Dialer:  world.Net,
+	base := scanner.Scanner{
 		Key:     key,
 		CertDER: cert.Raw,
 		Timeout: 30 * time.Second,
@@ -185,89 +218,150 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 		Config:        cfg,
 		World:         world,
 		RecordsByWave: make(map[int][]*dataset.HostRecord),
+		Scans:         make(map[int]*scanner.Wave),
 	}
 	workers := cfg.GrabWorkers
 	if workers <= 0 {
 		workers = 32
 	}
 
-	// The campaign pipeline overlaps stages across waves: while wave w
-	// scans, wave w-1's record conversion and analysis run on the
-	// analyzer goroutine. World mutation (ApplyWave) stays serialized on
-	// this goroutine, so scanning itself remains one wave at a time;
-	// the analyzer only touches immutable scan results and the
-	// mutex-guarded, wave-stable AS mapping.
-	type scannedWave struct {
-		w    int
-		date time.Time
-		wave *scanner.Wave
-	}
-	analyze := func(sw scannedWave) {
-		var recs []*dataset.HostRecord
-		for _, res := range sw.wave.OPCUAResults() {
-			asn := asnOf(world, res.Address)
-			recs = append(recs, dataset.FromResult(res, sw.w, sw.date, asn))
-		}
-		c.RecordsByWave[sw.w] = recs
-		analysis := core.AnalyzeWaveWorkers(sw.w, sw.date, recs, cfg.AnalyzeWorkers)
-		c.Analyses = append(c.Analyses, analysis)
-		cfg.progressf("wave %d: %d open ports, %d OPC UA hosts (%d servers, %d discovery), %.0f%% deficient",
-			sw.w, sw.wave.OpenPorts, len(recs), len(analysis.Servers), analysis.Discovery,
-			100*analysis.DeficientFrac)
-	}
-
-	scanned := make(chan scannedWave, 1)
-	analyzerDone := make(chan struct{})
-	if cfg.Sequential {
-		close(analyzerDone)
-	} else {
-		go func() {
-			defer close(analyzerDone)
-			for sw := range scanned {
-				analyze(sw)
-			}
-		}()
-	}
-	finish := func() {
-		close(scanned)
-		<-analyzerDone
-	}
-
-	for _, w := range waves {
-		if err := world.ApplyWave(w); err != nil {
-			finish()
+	// Materialize the immutable per-wave views up front. Server
+	// construction is cached on the world, so this is cheap after the
+	// first wave touching each host state.
+	views := make([]*worldview.Snapshot, len(waves))
+	for i, w := range waves {
+		if views[i], err = world.SnapshotWave(w); err != nil {
 			return nil, err
 		}
-		date := deploy.WaveDates[w]
+	}
+	cfg.progressf("materialized %d immutable wave views", len(views))
+
+	analyze := func(i int, wave *scanner.Wave) {
+		w, date := waves[i], deploy.WaveDates[waves[i]]
+		var recs []*dataset.HostRecord
+		for _, res := range wave.OPCUAResults() {
+			recs = append(recs, dataset.FromResult(res, w, date, asnOf(views[i], res.Address)))
+		}
+		c.RecordsByWave[w] = recs
+		analysis := core.AnalyzeWaveWorkers(w, date, recs, cfg.AnalyzeWorkers)
+		c.Analyses = append(c.Analyses, analysis)
+		cfg.progressf("wave %d: %d open ports, %d OPC UA hosts (%d servers, %d discovery), %.0f%% deficient",
+			w, wave.OpenPorts, len(recs), len(analysis.Servers), analysis.Discovery,
+			100*analysis.DeficientFrac)
+	}
+	scanOne := func(i int) (*scanner.Wave, error) {
+		w, date := waves[i], deploy.WaveDates[waves[i]]
 		cfg.progressf("wave %d (%s): scanning...", w, date.Format("2006-01-02"))
-		wave, err := scanner.RunWave(ctx, world.Net, sc, scanner.WaveConfig{
+		sc := base
+		sc.Dialer = views[i]
+		return scanner.RunWave(ctx, views[i], &sc, scanner.WaveConfig{
 			Date:             date,
 			FollowReferences: w >= deploy.FollowReferencesFromWave,
 			GrabWorkers:      workers,
 			QueueSize:        cfg.QueueSize,
 			Barrier:          cfg.Barrier,
 		})
-		if err != nil {
-			finish()
-			return nil, fmt.Errorf("opcuastudy: wave %d: %w", w, err)
-		}
-		if cfg.Sequential {
-			analyze(scannedWave{w: w, date: date, wave: wave})
-		} else {
-			scanned <- scannedWave{w: w, date: date, wave: wave}
-		}
 	}
-	finish()
+
+	if cfg.Sequential {
+		// Benchmark baseline: scan and analyze strictly in turn on one
+		// goroutine, no overlap of any kind.
+		for i, w := range waves {
+			wave, err := scanOne(i)
+			if wave != nil {
+				c.Scans[w] = wave
+			}
+			if err != nil {
+				return c, fmt.Errorf("opcuastudy: wave %d: %w", w, err)
+			}
+			analyze(i, wave)
+		}
+		c.Long = core.AnalyzeLongitudinal(c.Analyses)
+		return c, nil
+	}
+
+	waveWorkers := cfg.WaveWorkers
+	if waveWorkers < 1 {
+		waveWorkers = 1
+	}
+	if waveWorkers > len(waves) {
+		waveWorkers = len(waves)
+	}
+
+	// Scan workers pull wave indexes in order; the caller's goroutine
+	// merges outcomes in that same order, analyzing each completed wave
+	// while later waves are still scanning. After cancellation the
+	// remaining RunWave calls observe the dead context inside their
+	// port scan and return immediately with no wave, so the merge loop
+	// always terminates.
+	type outcome struct {
+		wave *scanner.Wave
+		err  error
+	}
+	outcomes := make([]outcome, len(waves))
+	done := make([]chan struct{}, len(waves))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < waveWorkers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// A wave whose turn comes after cancellation never
+				// starts; it must not surface as a partial scan.
+				if err := ctx.Err(); err != nil {
+					outcomes[i] = outcome{err: err}
+					close(done[i])
+					continue
+				}
+				wave, err := scanOne(i)
+				outcomes[i] = outcome{wave: wave, err: err}
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range waves {
+			jobs <- i
+		}
+	}()
+
+	var firstErr error
+	for i, w := range waves {
+		<-done[i]
+		out := outcomes[i]
+		if out.wave != nil {
+			c.Scans[w] = out.wave
+		}
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("opcuastudy: wave %d: %w", w, out.err)
+			}
+			continue
+		}
+		// Waves that completed before the cancellation landed are fully
+		// analyzed even when an earlier wave in the merge order errored;
+		// only Campaign.Long requires the whole campaign.
+		analyze(i, out.wave)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return c, firstErr
+	}
 	c.Long = core.AnalyzeLongitudinal(c.Analyses)
 	return c, nil
 }
 
-func asnOf(world *deploy.World, address string) int {
+func asnOf(view simnet.View, address string) int {
 	ap, err := netip.ParseAddrPort(address)
 	if err != nil {
 		return 0
 	}
-	return world.ASOf(ap.Addr())
+	return view.ASOf(ap.Addr())
 }
 
 // Report renders every figure and table of the paper's evaluation.

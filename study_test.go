@@ -3,10 +3,12 @@ package opcuastudy
 import (
 	"bytes"
 	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -117,6 +119,170 @@ func TestCampaignPipelineMatchesSequential(t *testing.T) {
 		t.Errorf("longitudinal differs: %d/%d certs, %d/%d renewals",
 			streaming.Long.TotalCerts, sequential.Long.TotalCerts,
 			len(streaming.Long.Renewals), len(sequential.Long.Renewals))
+	}
+}
+
+// normalizeWallClock zeroes the two per-record fields that legitimately
+// differ between otherwise identical campaign runs: Duration is wall
+// clock, and Bytes depends on the run's randomly generated scanner
+// certificate (DER integer lengths vary by a byte between identities).
+// Everything else must match exactly for the byte-identical check.
+func normalizeWallClock(c *Campaign) {
+	for _, recs := range c.RecordsByWave {
+		for _, r := range recs {
+			r.Duration = 0
+			r.Bytes = 0
+		}
+	}
+}
+
+func datasetBytes(t *testing.T, c *Campaign) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.WriteDataset(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignConcurrentWavesMatchSequential is the worldview
+// acceptance gate: scanning all waves concurrently (each against its
+// own immutable snapshot) must produce a byte-identical dataset and
+// identical WaveAnalysis/Longitudinal output to the one-wave-at-a-time
+// run. The world is shared, so even certificate thumbprints must
+// agree. Run under -race this also exercises the wave worker pool.
+func TestCampaignConcurrentWavesMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign equivalence skipped in -short mode")
+	}
+	cfg := CampaignConfig{
+		Seed:         2020,
+		Waves:        []int{5, 6, 7},
+		TestKeySizes: true,
+		MaxHosts:     60,
+		NoiseProb:    1e-5,
+		GrabWorkers:  8,
+	}
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent := cfg
+	concurrent.WaveWorkers = 3
+	conc, err := RunCampaignOnWorld(context.Background(), concurrent, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential := cfg
+	sequential.Sequential = true
+	seq, err := RunCampaignOnWorld(context.Background(), sequential, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	normalizeWallClock(conc)
+	normalizeWallClock(seq)
+	if a, b := datasetBytes(t, conc), datasetBytes(t, seq); !bytes.Equal(a, b) {
+		t.Errorf("datasets differ: %d bytes vs %d bytes", len(a), len(b))
+	}
+	if !reflect.DeepEqual(conc.Analyses, seq.Analyses) {
+		t.Error("wave analyses differ between concurrent and sequential runs")
+	}
+	if !reflect.DeepEqual(conc.Long, seq.Long) {
+		t.Error("longitudinal analysis differs between concurrent and sequential runs")
+	}
+	for _, w := range cfg.Waves {
+		cs, ss := conc.Scans[w], seq.Scans[w]
+		if cs == nil || ss == nil {
+			t.Fatalf("wave %d scan missing: %v / %v", w, cs != nil, ss != nil)
+		}
+		if cs.Partial || ss.Partial {
+			t.Errorf("wave %d marked partial on an uncancelled run", w)
+		}
+		if cs.OpenPorts != ss.OpenPorts || len(cs.Results) != len(ss.Results) {
+			t.Errorf("wave %d scans differ: %d/%d open, %d/%d results",
+				w, cs.OpenPorts, ss.OpenPorts, len(cs.Results), len(ss.Results))
+		}
+	}
+}
+
+// TestCampaignConcurrentWavesCancellation pins the campaign's
+// cancellation contract under concurrent waves: cancelling mid-scan
+// returns the partial campaign with only in-flight waves marked
+// Partial, analyzes nothing that did not complete, and never
+// deadlocks (run under -race in CI).
+func TestCampaignConcurrentWavesCancellation(t *testing.T) {
+	cfg := CampaignConfig{
+		Seed:         2020,
+		Waves:        []int{5, 6, 7},
+		TestKeySizes: true,
+		MaxHosts:     40,
+		NoiseProb:    1e-5,
+		GrabWorkers:  4,
+		WaveWorkers:  2,
+	}
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency makes each wave's grab phase take at least several
+	// hundred milliseconds, so a cancellation shortly after the scans
+	// start deterministically lands mid-grab: waves 5 and 6 in flight,
+	// wave 7 still queued behind the two wave workers.
+	world.Net.SetLatency(25 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	scanning := 0
+	cfg.Progressf = func(format string, args ...any) {
+		if !strings.Contains(format, "scanning") {
+			return
+		}
+		mu.Lock()
+		scanning++
+		n := scanning
+		mu.Unlock()
+		if n == 2 {
+			time.AfterFunc(100*time.Millisecond, cancel)
+		}
+	}
+
+	c, err := RunCampaignOnWorld(ctx, cfg, world)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c == nil {
+		t.Fatal("cancelled campaign is nil; contract promises the partial campaign")
+	}
+	if c.Long != nil {
+		t.Error("longitudinal analysis computed for a cancelled campaign")
+	}
+	for _, w := range []int{5, 6} {
+		scan := c.Scans[w]
+		if scan == nil {
+			t.Errorf("in-flight wave %d missing from Scans", w)
+			continue
+		}
+		if !scan.Partial {
+			t.Errorf("in-flight wave %d not marked Partial", w)
+		}
+	}
+	if scan := c.Scans[7]; scan != nil {
+		t.Errorf("never-started wave 7 present in Scans (partial=%v)", scan.Partial)
+	}
+	// Partial waves must not leak into the analyzed dataset — and
+	// conversely, waves that did complete before cancellation must be
+	// fully analyzed even when an earlier wave errored.
+	for w, scan := range c.Scans {
+		if _, analyzed := c.RecordsByWave[w]; analyzed == scan.Partial {
+			t.Errorf("wave %d: partial=%v but analyzed=%v", w, scan.Partial, analyzed)
+		}
+	}
+	for _, a := range c.Analyses {
+		if scan := c.Scans[a.Wave]; scan == nil || scan.Partial {
+			t.Errorf("analysis exists for unfinished wave %d", a.Wave)
+		}
 	}
 }
 
