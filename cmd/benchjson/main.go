@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document, so the repository's performance
+// trajectory (ns/op, allocs/op, campaign wall clock) can be tracked as
+// BENCH_<pr>.json files across PRs and consumed by tooling instead of
+// scraped from prose.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_3.json
+//
+// Lines that are not benchmark results (headers, PASS/ok, metrics the
+// parser cannot read) are ignored, so piping full `go test` output is
+// fine. Custom b.ReportMetric values are kept under "metrics", and
+// every benchmark whose name contains "Campaign" is summarized a
+// second time in "campaign_seconds" (wall clock per op).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type doc struct {
+	Schema          string             `json:"schema"`
+	Benchmarks      map[string]*entry  `json:"benchmarks"`
+	CampaignSeconds map[string]float64 `json:"campaign_seconds,omitempty"`
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS from a benchmark
+// name (BenchmarkFoo/sub-case-8 -> BenchmarkFoo/sub-case).
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func parseLine(line string) (string, *entry) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", nil
+	}
+	e := &entry{Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		default:
+			e.Metrics[fields[i+1]] = v
+		}
+	}
+	if len(e.Metrics) == 0 {
+		e.Metrics = nil
+	}
+	return stripProcSuffix(fields[0]), e
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	d := doc{
+		Schema:          "opcua-repro-bench/v1",
+		Benchmarks:      map[string]*entry{},
+		CampaignSeconds: map[string]float64{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, e := parseLine(sc.Text())
+		if e == nil {
+			continue
+		}
+		d.Benchmarks[name] = e
+		if strings.Contains(name, "Campaign") {
+			d.CampaignSeconds[name] = e.NsPerOp / 1e9
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading input: %v\n", err)
+		os.Exit(1)
+	}
+	if len(d.CampaignSeconds) == 0 {
+		d.CampaignSeconds = nil
+	}
+
+	enc, err := json.MarshalIndent(&d, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

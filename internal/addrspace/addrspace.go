@@ -204,11 +204,14 @@ func (s *Space) Link(parentID, childID uatypes.NodeID, refType uint32) error {
 	return nil
 }
 
-// Node looks up a node by id.
+// Node looks up a node by id. The key is built in a stack buffer and
+// the map[string(bytes)] lookup pattern keeps the hot read/browse path
+// from allocating a key string per request.
 func (s *Space) Node(id uatypes.NodeID) (*Node, bool) {
+	var buf [48]byte
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	n, ok := s.nodes[id.Key()]
+	n, ok := s.nodes[string(id.AppendKey(buf[:0]))]
 	return n, ok
 }
 
@@ -229,9 +232,10 @@ func ObjectsFolder() uatypes.NodeID {
 // forward hierarchical traversal is used by the study, but direction is
 // honoured for completeness.
 func (s *Space) Browse(id uatypes.NodeID, dir uamsg.BrowseDirection, classMask uint32) ([]uamsg.ReferenceDescription, bool) {
+	var buf [48]byte
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	n, ok := s.nodes[id.Key()]
+	n, ok := s.nodes[string(id.AppendKey(buf[:0]))]
 	if !ok {
 		return nil, false
 	}
@@ -247,7 +251,7 @@ func (s *Space) Browse(id uatypes.NodeID, dir uamsg.BrowseDirection, classMask u
 				continue
 			}
 		}
-		target, ok := s.nodes[ref.Target.Key()]
+		target, ok := s.nodes[string(ref.Target.AppendKey(buf[:0]))]
 		if !ok {
 			continue
 		}

@@ -160,7 +160,10 @@ func FromResult(res *scanner.Result, wave int, date time.Time, asn int) *HostRec
 		rec.Endpoints = append(rec.Endpoints, er)
 	}
 	if len(res.ServerCertDER) > 0 {
-		if cert, err := uacert.Parse(res.ServerCertDER); err == nil {
+		// Certificates repeat across hosts (reuse clusters) and across
+		// waves; the memoized parse reuses one parsed instance per
+		// thumbprint instead of re-reading the DER per record.
+		if cert, err := uacert.ParseCached(res.ServerCertDER); err == nil {
 			rec.Cert = &CertRecord{
 				Thumbprint: cert.ThumbprintHex(),
 				Hash:       cert.SignatureHash.String(),

@@ -464,6 +464,24 @@ func (w *World) SnapshotWave(wave int) (*worldview.Snapshot, error) {
 	return b.Build(), nil
 }
 
+// SetResponseCaches toggles the pre-encoded GetEndpoints/FindServers
+// response caches on every server materialized so far (servers built
+// afterwards start with the cache on, as always). It exists for the
+// cached-vs-uncached equivalence gate; production campaigns never turn
+// the caches off.
+func (w *World) SetResponseCaches(on bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, wh := range w.hosts {
+		for _, srv := range wh.server {
+			srv.EnableResponseCache(on)
+		}
+	}
+	for _, wd := range w.discovery {
+		wd.server.EnableResponseCache(on)
+	}
+}
+
 // HostCert returns the certificate a host serves at the wave; nil if the
 // host index is out of the materialized range.
 func (w *World) HostCert(index, wave int) *uacert.Certificate {

@@ -3,7 +3,8 @@ package scanner
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"time"
 
@@ -265,12 +266,14 @@ func grabBatch(ctx context.Context, sc *Scanner, targets []Target, workers int) 
 // sortResults orders a wave deterministically: port-scan discoveries
 // first (mirroring the pre-streaming depth order), then by address.
 func sortResults(results []*Result) {
-	sort.Slice(results, func(i, j int) bool {
-		a, b := results[i], results[j]
+	slices.SortFunc(results, func(a, b *Result) int {
 		if (a.Via == ViaPortScan) != (b.Via == ViaPortScan) {
-			return a.Via == ViaPortScan
+			if a.Via == ViaPortScan {
+				return -1
+			}
+			return 1
 		}
-		return a.Address < b.Address
+		return strings.Compare(a.Address, b.Address)
 	})
 }
 

@@ -5,7 +5,7 @@ import (
 	"crypto/rsa"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -424,7 +424,7 @@ func (r *Result) PolicySet() []string {
 	for uri := range set {
 		out = append(out, uri)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

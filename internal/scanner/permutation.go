@@ -6,10 +6,23 @@
 package scanner
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"math/bits"
+
+	"repro/internal/simnet"
 )
+
+// fnvMix folds the eight little-endian bytes of v into an FNV-1a state
+// (parameters shared with the noise model via simnet; the Feistel round
+// below inlines the hash so the per-probe path performs zero heap
+// allocations, and TestPermutationRoundMatchesFNV pins the arithmetic
+// against the stdlib implementation byte for byte).
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * simnet.FNVPrime64
+		v >>= 8
+	}
+	return h
+}
 
 // Permutation is a bijection over [0, N) used to visit scan targets in a
 // pseudorandom order, like zmap's cyclic-group iteration: probes spread
@@ -45,14 +58,15 @@ func NewPermutation(n uint64, seed uint64) *Permutation {
 	}
 }
 
+// round hashes (half, seed, round) with an inlined FNV-1a over the same
+// 17 bytes the previous hash/fnv-based implementation fed the hasher:
+// 8 LE bytes of half, 8 LE bytes of the seed, then the round byte. The
+// output is bit-identical, so permutations are stable across the
+// rewrite, but a round no longer allocates a hasher.
 func (p *Permutation) round(half uint64, round uint) uint64 {
-	var buf [17]byte
-	binary.LittleEndian.PutUint64(buf[0:], half)
-	binary.LittleEndian.PutUint64(buf[8:], p.seed)
-	buf[16] = byte(round)
-	h := fnv.New64a()
-	h.Write(buf[:])
-	return h.Sum64() & p.halfMask
+	h := fnvMix(fnvMix(uint64(simnet.FNVOffset64), half), p.seed)
+	h = (h ^ uint64(byte(round))) * simnet.FNVPrime64
+	return h & p.halfMask
 }
 
 func (p *Permutation) feistel(x uint64) uint64 {
@@ -64,7 +78,9 @@ func (p *Permutation) feistel(x uint64) uint64 {
 	return l<<p.halfBits | r
 }
 
-// At maps index i to its permuted position. i must be < N.
+// At maps index i to its permuted position. i must be < N. At performs
+// no heap allocations (the port-scan probe path relies on this;
+// TestPermutationAtAllocFree gates it).
 func (p *Permutation) At(i uint64) uint64 {
 	if p.n == 0 {
 		return 0

@@ -20,10 +20,25 @@ type PortScanConfig struct {
 	Seed    uint64
 }
 
+// ctxCheckInterval bounds how many unlimited-rate probes a shard worker
+// runs between context checks; probes are sub-microsecond, so
+// cancellation latency stays well under a millisecond.
+const ctxCheckInterval = 1024
+
 // PortScan probes every address of the view's universe on the given
 // port in permuted order and returns the responsive addresses. The
 // view may be the live mutable Network or an immutable per-wave
 // worldview snapshot; either way PortScan only reads.
+//
+// The permuted index space [0, N) is statically sharded into one
+// contiguous range per worker: a probe is a pure function call chain
+// (Permutation.At, Universe.AddrAt, View.OpenPort) with no channel
+// traffic and no heap allocations, and each shard batches its
+// responsive addresses locally. Shards are concatenated in worker
+// order, so the result order is deterministic for a given
+// (universe, seed, workers) triple — though callers must not rely on
+// it beyond set equality, which is what the grab stage's deterministic
+// sort consumes.
 func PortScan(ctx context.Context, nw simnet.View, cfg PortScanConfig) ([]netip.Addr, error) {
 	if cfg.Port == 0 {
 		cfg.Port = 4840
@@ -32,57 +47,73 @@ func PortScan(ctx context.Context, nw simnet.View, cfg PortScanConfig) ([]netip.
 		cfg.Workers = 64
 	}
 	u := nw.Universe()
-	perm := NewPermutation(u.Size(), cfg.Seed)
+	n := u.Size()
+	perm := NewPermutation(n, cfg.Seed)
 
 	var limiter *time.Ticker
 	if cfg.Rate > 0 {
-		limiter = time.NewTicker(time.Second / time.Duration(cfg.Rate))
+		// time.Second / Rate truncates to zero for Rate > 1e9, and
+		// NewTicker panics on non-positive intervals; clamp to 1ns
+		// (effectively unlimited — no simulated probe is that fast).
+		interval := time.Second / time.Duration(cfg.Rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		limiter = time.NewTicker(interval)
 		defer limiter.Stop()
 	}
 
-	indexes := make(chan uint64, cfg.Workers*2)
-	results := make(chan netip.Addr, cfg.Workers*2)
+	workers := cfg.Workers
+	if uint64(workers) > n {
+		workers = int(n)
+	}
+	if workers == 0 {
+		return nil, ctx.Err()
+	}
+	shards := make([][]netip.Addr, workers)
 	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
+	for w := 0; w < workers; w++ {
+		// Static sharding: worker w owns the contiguous index range
+		// [n*w/workers, n*(w+1)/workers). The permutation spreads each
+		// range across the whole address space, preserving zmap's
+		// no-burst property per shard.
+		lo := n * uint64(w) / uint64(workers)
+		hi := n * uint64(w+1) / uint64(workers)
 		wg.Add(1)
-		go func() {
+		go func(w int, lo, hi uint64) {
 			defer wg.Done()
-			for i := range indexes {
+			var open []netip.Addr
+			defer func() { shards[w] = open }()
+			for i := lo; i < hi; i++ {
+				if limiter != nil {
+					// The ticker is shared: the aggregate probe rate
+					// across all shards matches cfg.Rate.
+					select {
+					case <-ctx.Done():
+						return
+					case <-limiter.C:
+					}
+				} else if i%ctxCheckInterval == 0 && ctx.Err() != nil {
+					return
+				}
 				addr, err := u.AddrAt(perm.At(i))
 				if err != nil {
 					continue
 				}
 				if nw.OpenPort(addr, cfg.Port) {
-					results <- addr
+					open = append(open, addr)
 				}
 			}
-		}()
+		}(w, lo, hi)
 	}
-	go func() {
-		defer close(indexes)
-		for i := uint64(0); i < u.Size(); i++ {
-			if limiter != nil {
-				select {
-				case <-ctx.Done():
-					return
-				case <-limiter.C:
-				}
-			} else if ctx.Err() != nil {
-				return
-			}
-			indexes <- i
-		}
-	}()
-	done := make(chan struct{})
-	var open []netip.Addr
-	go func() {
-		defer close(done)
-		for addr := range results {
-			open = append(open, addr)
-		}
-	}()
 	wg.Wait()
-	close(results)
-	<-done
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	open := make([]netip.Addr, 0, total)
+	for _, s := range shards {
+		open = append(open, s...)
+	}
 	return open, ctx.Err()
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"crypto/rand"
 	"crypto/rsa"
+	"encoding/binary"
+	"hash/fnv"
 	mrand "math/rand"
 	"net/netip"
 	"sync"
@@ -53,6 +55,47 @@ func TestPermutationQuickBijection(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPermutationRoundMatchesFNV pins the inlined FNV-1a round function
+// against the stdlib hash/fnv implementation over the exact byte layout
+// the pre-inline code hashed: 8 LE bytes of half, 8 LE bytes of the
+// seed, then the round byte. Permutations must be stable across the
+// allocation-free rewrite so scan orders (and rate-limited probe
+// schedules) stay reproducible.
+func TestPermutationRoundMatchesFNV(t *testing.T) {
+	ref := func(p *Permutation, half uint64, round uint) uint64 {
+		var buf [17]byte
+		binary.LittleEndian.PutUint64(buf[0:], half)
+		binary.LittleEndian.PutUint64(buf[8:], p.seed)
+		buf[16] = byte(round)
+		h := fnv.New64a()
+		h.Write(buf[:])
+		return h.Sum64() & p.halfMask
+	}
+	rng := mrand.New(mrand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := NewPermutation(rng.Uint64()%(1<<32)+1, rng.Uint64())
+		half := rng.Uint64()
+		round := uint(rng.Intn(4))
+		if got, want := p.round(half, round), ref(p, half, round); got != want {
+			t.Fatalf("round(%#x, %d) = %#x, want %#x", half, round, got, want)
+		}
+	}
+}
+
+// TestPermutationAtAllocFree gates the zero-allocation probe path: one
+// probe costs a Permutation.At call plus map lookups, none of which may
+// touch the heap.
+func TestPermutationAtAllocFree(t *testing.T) {
+	p := NewPermutation(1<<24, 7)
+	i := uint64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = p.At(i % (1 << 24))
+		i++
+	}); allocs != 0 {
+		t.Errorf("Permutation.At allocates %.1f objects per call, want 0", allocs)
 	}
 }
 
@@ -237,6 +280,53 @@ func TestPortScanRateLimit(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
 		t.Errorf("16 probes at 200/s took %v, limiter not applied", elapsed)
+	}
+}
+
+// TestPortScanExtremeRateDoesNotPanic is the regression test for the
+// limiter interval truncation: time.Second / Rate is zero for
+// Rate > 1e9 and time.NewTicker panics on non-positive intervals.
+func TestPortScanExtremeRateDoesNotPanic(t *testing.T) {
+	prefix, _ := simnet.NewPrefix("192.0.2.0", 28) // 16 addresses
+	nw := simnet.New(simnet.NewUniverse(prefix))
+	if _, err := PortScan(context.Background(), nw, PortScanConfig{
+		Rate: 2_000_000_000, Workers: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPortScanShardsMatchSingleWorker pins that static sharding changes
+// neither the discovered set nor its multiplicity, whatever the worker
+// count.
+func TestPortScanShardsMatchSingleWorker(t *testing.T) {
+	nw, _ := buildWorld(t)
+	single, err := PortScan(context.Background(), nw, PortScanConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -1 exercises the Workers<=0 default (64), which must kick in
+	// before the workers-vs-universe clamp.
+	for _, workers := range []int{-1, 3, 16, 1024} {
+		open, err := PortScan(context.Background(), nw, PortScanConfig{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(open) != len(single) {
+			t.Fatalf("workers=%d: %d open ports, want %d", workers, len(open), len(single))
+		}
+		want := map[netip.Addr]int{}
+		for _, a := range single {
+			want[a]++
+		}
+		for _, a := range open {
+			want[a]--
+		}
+		for a, n := range want {
+			if n != 0 {
+				t.Errorf("workers=%d: address %s count off by %d", workers, a, n)
+			}
+		}
 	}
 }
 

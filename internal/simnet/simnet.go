@@ -11,11 +11,12 @@
 package simnet
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"hash/fnv"
 	"net"
 	"net/netip"
+	"slices"
 	"strconv"
 	"sync"
 	"time"
@@ -77,14 +78,47 @@ func (p Prefix) AddrAt(i uint32) netip.Addr {
 // Universe is the scannable address space: an ordered set of prefixes.
 type Universe struct {
 	prefixes []Prefix
-	total    uint64
+	// cum[i] is the linear index of prefixes[i]'s first address;
+	// cum[len(prefixes)] == total. AddrAt binary-searches it instead of
+	// walking the prefix list per probe.
+	cum   []uint64
+	total uint64
+	// byBase orders prefix indexes by base address when the prefixes
+	// are pairwise disjoint, enabling a binary-search PrefixIndex (the
+	// port-scan and dial hot path); nil when prefixes overlap, which
+	// falls back to the first-match linear walk.
+	byBase []int
 }
 
 // NewUniverse builds a universe from prefixes.
 func NewUniverse(prefixes ...Prefix) *Universe {
-	u := &Universe{prefixes: prefixes}
-	for _, p := range prefixes {
+	u := &Universe{
+		prefixes: prefixes,
+		cum:      make([]uint64, len(prefixes)+1),
+	}
+	for i, p := range prefixes {
+		u.cum[i] = u.total
 		u.total += uint64(p.Size)
+	}
+	u.cum[len(prefixes)] = u.total
+
+	byBase := make([]int, len(prefixes))
+	for i := range byBase {
+		byBase[i] = i
+	}
+	slices.SortFunc(byBase, func(a, b int) int {
+		return cmp.Compare(addrToU32(prefixes[a].Base), addrToU32(prefixes[b].Base))
+	})
+	disjoint := true
+	for k := 1; k < len(byBase); k++ {
+		prev, cur := prefixes[byBase[k-1]], prefixes[byBase[k]]
+		if uint64(addrToU32(prev.Base))+uint64(prev.Size) > uint64(addrToU32(cur.Base)) {
+			disjoint = false
+			break
+		}
+	}
+	if disjoint {
+		u.byBase = byBase
 	}
 	return u
 }
@@ -94,13 +128,20 @@ func (u *Universe) Size() uint64 { return u.total }
 
 // AddrAt maps a linear index to an address.
 func (u *Universe) AddrAt(i uint64) (netip.Addr, error) {
-	for _, p := range u.prefixes {
-		if i < uint64(p.Size) {
-			return p.AddrAt(uint32(i)), nil
-		}
-		i -= uint64(p.Size)
+	if i >= u.total {
+		return netip.Addr{}, fmt.Errorf("simnet: index %d outside universe", i)
 	}
-	return netip.Addr{}, fmt.Errorf("simnet: index %d outside universe", i)
+	// Find the prefix whose range contains i: the last k with cum[k] <= i.
+	lo, hi := 0, len(u.prefixes)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if u.cum[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return u.prefixes[lo].AddrAt(uint32(i - u.cum[lo])), nil
 }
 
 // Contains reports whether the universe contains the address.
@@ -113,6 +154,26 @@ func (u *Universe) Contains(a netip.Addr) bool {
 // snapshots shard their host lookup by this index so concurrent
 // scanners working disjoint prefixes hit independent shards.
 func (u *Universe) PrefixIndex(a netip.Addr) int {
+	if u.byBase != nil {
+		// Disjoint prefixes: at most one can contain the address, so
+		// the first match equals the only match and a binary search on
+		// the base-ordered view is exact. Find the last prefix with
+		// Base <= a and check containment.
+		v := addrToU32(a)
+		lo, hi := 0, len(u.byBase)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if addrToU32(u.prefixes[u.byBase[mid]].Base) <= v {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		if len(u.byBase) > 0 && u.prefixes[u.byBase[lo]].Contains(a) {
+			return u.byBase[lo]
+		}
+		return -1
+	}
 	for i, p := range u.prefixes {
 		if p.Contains(a) {
 			return i
@@ -147,7 +208,7 @@ type Network struct {
 	universe *Universe
 
 	mu      sync.RWMutex
-	hosts   map[string]*Host // "ip:port"
+	hosts   map[netip.AddrPort]*Host
 	asOfIP  map[netip.Addr]int
 	latency time.Duration
 	// noiseProb is the probability that an unregistered universe address
@@ -162,7 +223,7 @@ type Network struct {
 func New(u *Universe) *Network {
 	return &Network{
 		universe:    u,
-		hosts:       make(map[string]*Host),
+		hosts:       make(map[netip.AddrPort]*Host),
 		asOfIP:      make(map[netip.Addr]int),
 		excludedIPs: make(map[netip.Addr]bool),
 		noiseSeed:   0x9E3779B97F4A7C15,
@@ -196,8 +257,7 @@ func (n *Network) Exclude(ip netip.Addr) {
 func (n *Network) Register(ip netip.Addr, port, asn int, h ConnHandler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	key := netip.AddrPortFrom(ip, uint16(port)).String()
-	n.hosts[key] = &Host{IP: ip, Port: port, ASN: asn, Handler: h}
+	n.hosts[netip.AddrPortFrom(ip, uint16(port))] = &Host{IP: ip, Port: port, ASN: asn, Handler: h}
 	n.asOfIP[ip] = asn
 }
 
@@ -205,7 +265,7 @@ func (n *Network) Register(ip netip.Addr, port, asn int, h ConnHandler) {
 func (n *Network) Unregister(ip netip.Addr, port int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	delete(n.hosts, netip.AddrPortFrom(ip, uint16(port)).String())
+	delete(n.hosts, netip.AddrPortFrom(ip, uint16(port)))
 }
 
 // Hosts returns a snapshot of all registered hosts.
@@ -268,17 +328,32 @@ func (z Noise) Hit(u *Universe, ip netip.Addr, port int) bool {
 	return u.Contains(ip) && z.HitInUniverse(ip, port)
 }
 
+// FNV-1a parameters (matching hash/fnv's 64-bit variant). The noise
+// model below and the scanner's Feistel permutation both inline the
+// hash on their per-probe paths so probes allocate nothing; sharing the
+// constants here keeps one canonical definition
+// (TestNoiseMatchesFNVReference and the scanner's
+// TestPermutationRoundMatchesFNV pin both inlined variants against
+// hash/fnv).
+const (
+	FNVOffset64 = 14695981039346656037
+	FNVPrime64  = 1099511628211
+)
+
 // HitInUniverse is Hit for an address the caller already resolved to a
 // universe prefix; it skips the containment walk (the port-scan hot
-// path calls this once per address).
+// path calls this once per address). It performs no heap allocations.
 func (z Noise) HitInUniverse(ip netip.Addr, port int) bool {
 	if port != 4840 || z.Prob <= 0 {
 		return false
 	}
-	h := fnv.New64a()
 	b := ip.As4()
-	h.Write(b[:])
-	v := h.Sum64() ^ z.Seed
+	h := uint64(FNVOffset64)
+	h = (h ^ uint64(b[0])) * FNVPrime64
+	h = (h ^ uint64(b[1])) * FNVPrime64
+	h = (h ^ uint64(b[2])) * FNVPrime64
+	h = (h ^ uint64(b[3])) * FNVPrime64
+	v := h ^ z.Seed
 	// Map the hash to [0,1) and compare.
 	return float64(v%1000000)/1000000.0 < z.Prob
 }
@@ -343,7 +418,7 @@ func (n *Network) DialContext(ctx context.Context, network, address string) (net
 	}
 	n.mu.RLock()
 	excluded := n.excludedIPs[ip]
-	h, ok := n.hosts[netip.AddrPortFrom(ip, uint16(port)).String()]
+	h, ok := n.hosts[netip.AddrPortFrom(ip, uint16(port))]
 	n.mu.RUnlock()
 	if excluded {
 		return nil, ErrRefused{Addr: address}
@@ -381,10 +456,10 @@ var _ View = (*Network)(nil)
 func (n *Network) OpenPort(ip netip.Addr, port int) bool {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	if n.excludedIPs[ip] {
+	if len(n.excludedIPs) > 0 && n.excludedIPs[ip] {
 		return false
 	}
-	if _, ok := n.hosts[netip.AddrPortFrom(ip, uint16(port)).String()]; ok {
+	if _, ok := n.hosts[netip.AddrPortFrom(ip, uint16(port))]; ok {
 		return true
 	}
 	return n.isNoise(ip, port)

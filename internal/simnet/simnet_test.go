@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"context"
+	"hash/fnv"
 	"net"
 	"net/netip"
 	"testing"
@@ -223,5 +224,105 @@ func TestASOfUnregisteredIsDeterministic(t *testing.T) {
 	}
 	if nw.ASOf(a) < 64512 {
 		t.Error("synthetic ASN out of private range")
+	}
+}
+
+// TestNoiseMatchesFNVReference pins the inlined FNV-1a noise hash
+// against the stdlib hash/fnv implementation: noise decisions must stay
+// identical across the allocation-free rewrite because every wave's
+// open-port population (and therefore every dataset byte) depends on
+// them.
+func TestNoiseMatchesFNVReference(t *testing.T) {
+	z := Noise{Prob: 0.37, Seed: 0x9E3779B97F4A7C15}
+	ref := func(ip netip.Addr) bool {
+		h := fnv.New64a()
+		b := ip.As4()
+		h.Write(b[:])
+		v := h.Sum64() ^ z.Seed
+		return float64(v%1000000)/1000000.0 < z.Prob
+	}
+	for i := 0; i < 5000; i++ {
+		ip := netip.AddrFrom4([4]byte{byte(i >> 8), byte(i), byte(i * 7), byte(i * 13)})
+		if got, want := z.HitInUniverse(ip, 4840), ref(ip); got != want {
+			t.Fatalf("HitInUniverse(%s) = %v, want %v", ip, got, want)
+		}
+	}
+}
+
+// TestNoiseHitAllocFree gates the per-probe noise decision at zero heap
+// allocations (it runs once per scanned address).
+func TestNoiseHitAllocFree(t *testing.T) {
+	z := Noise{Prob: 0.5, Seed: 1}
+	ip := netip.AddrFrom4([4]byte{100, 64, 3, 9})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = z.HitInUniverse(ip, 4840)
+	}); allocs != 0 {
+		t.Errorf("HitInUniverse allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestUniversePrefixIndexBinarySearch cross-checks the binary-search
+// PrefixIndex against a linear first-match walk, including boundary
+// addresses and out-of-universe probes, for disjoint and overlapping
+// prefix sets.
+func TestUniversePrefixIndexBinarySearch(t *testing.T) {
+	disjoint := NewUniverse(
+		mustPrefix(t, "100.70.0.0", 16),
+		mustPrefix(t, "100.64.0.0", 16),
+		mustPrefix(t, "10.0.0.0", 24),
+	)
+	overlapping := NewUniverse(
+		mustPrefix(t, "100.64.0.0", 16),
+		mustPrefix(t, "100.64.128.0", 24), // inside the first prefix
+	)
+	linear := func(u *Universe, a netip.Addr) int {
+		for i, p := range u.prefixes {
+			if p.Contains(a) {
+				return i
+			}
+		}
+		return -1
+	}
+	probes := []string{
+		"100.64.0.0", "100.64.255.255", "100.64.128.7", "100.65.0.0",
+		"100.70.0.1", "100.70.255.255", "10.0.0.0", "10.0.0.255",
+		"10.0.1.0", "9.255.255.255", "203.0.113.5", "0.0.0.0",
+		"255.255.255.255",
+	}
+	for _, u := range []*Universe{disjoint, overlapping} {
+		for _, s := range probes {
+			a := netip.MustParseAddr(s)
+			if got, want := u.PrefixIndex(a), linear(u, a); got != want {
+				t.Errorf("PrefixIndex(%s) = %d, want %d", s, got, want)
+			}
+		}
+	}
+	if overlapping.byBase != nil {
+		t.Error("overlapping universe should fall back to the linear walk")
+	}
+	if disjoint.byBase == nil {
+		t.Error("disjoint universe should use the binary search")
+	}
+	// AddrAt must agree with the linear prefix walk order.
+	for i := uint64(0); i < disjoint.Size(); i += 997 {
+		var want netip.Addr
+		rem := i
+		for _, p := range disjoint.prefixes {
+			if rem < uint64(p.Size) {
+				want = p.AddrAt(uint32(rem))
+				break
+			}
+			rem -= uint64(p.Size)
+		}
+		got, err := disjoint.AddrAt(i)
+		if err != nil {
+			t.Fatalf("AddrAt(%d): %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("AddrAt(%d) = %s, want %s", i, got, want)
+		}
+	}
+	if _, err := disjoint.AddrAt(disjoint.Size()); err == nil {
+		t.Error("AddrAt past the universe should error")
 	}
 }

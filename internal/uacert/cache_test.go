@@ -1,0 +1,97 @@
+package uacert
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseCachedMatchesParse pins the memoized parse against the
+// uncached one — same fields, errors on the same inputs — and that
+// repeated parses of the same DER (even through a different backing
+// slice) return one shared instance.
+func TestParseCachedMatchesParse(t *testing.T) {
+	key := testKey(t, 0)
+	cert, err := Generate(key, Options{
+		CommonName:     "cache test",
+		Organization:   "Test Org",
+		ApplicationURI: "urn:test:cache",
+		SignatureHash:  HashSHA1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Parse(cert.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := ParseCached(cert.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cached) {
+		t.Error("ParseCached result differs from Parse")
+	}
+	again, err := ParseCached(append([]byte(nil), cert.Raw...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != cached {
+		t.Error("repeated ParseCached did not return the shared instance")
+	}
+	if _, err := ParseCached([]byte("not DER")); err == nil {
+		t.Error("ParseCached accepted garbage")
+	}
+	// Failures are not cached: the same garbage fails again.
+	if _, err := ParseCached([]byte("not DER")); err == nil {
+		t.Error("ParseCached accepted garbage on the second call")
+	}
+}
+
+// TestParseCacheBounded pins the memoization cap: past parseCacheLimit
+// new certificates still parse correctly but are no longer retained,
+// so a peer presenting endless distinct certificates cannot grow the
+// table without bound.
+func TestParseCacheBounded(t *testing.T) {
+	key := testKey(t, 1)
+	mint := func(cn string) []byte {
+		t.Helper()
+		cert, err := Generate(key, Options{CommonName: cn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cert.Raw
+	}
+	limit := parseCacheLimit
+	defer func() { parseCacheLimit = limit }()
+	parseCacheLimit = parseCacheSize.Load() // table is "full" right now
+
+	capped := mint("past the cap")
+	a, err := ParseCached(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseCached(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("certificate was cached past the limit")
+	}
+	if a.SubjectCN != "past the cap" || b.SubjectCN != a.SubjectCN {
+		t.Error("uncached parse returned wrong certificate")
+	}
+
+	parseCacheLimit = parseCacheSize.Load() + 1
+	again := mint("under the cap again")
+	c1, err := ParseCached(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseCached(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("certificate under the raised limit was not cached")
+	}
+}

@@ -101,6 +101,13 @@ type Client struct {
 
 	sessionToken uatypes.NodeID
 	activated    bool
+
+	// deadlineAt is the I/O deadline last armed on the connection;
+	// ExtendDeadline re-arms only when a meaningful share of the budget
+	// has elapsed (deadline timers are a per-call allocation on both
+	// net.Pipe and kernel sockets, and the walk issues thousands of
+	// requests per connection).
+	deadlineAt time.Time
 }
 
 // Dial connects and completes the UACP handshake. No secure channel is
@@ -117,7 +124,8 @@ func Dial(ctx context.Context, endpointURL string, opts Options) (*Client, error
 	}
 	c := &Client{opts: opts, endpointURL: endpointURL}
 	cc := countingConn{Conn: conn, read: &c.bytesRead, written: &c.bytesWritten}
-	_ = conn.SetDeadline(time.Now().Add(opts.Timeout))
+	c.deadlineAt = time.Now().Add(opts.Timeout)
+	_ = conn.SetDeadline(c.deadlineAt)
 	tr, err := uasc.ClientHello(cc, endpointURL, opts.Limits)
 	if err != nil {
 		conn.Close()
@@ -132,9 +140,18 @@ func (c *Client) BytesTransferred() (read, written int64) {
 	return c.bytesRead.Load(), c.bytesWritten.Load()
 }
 
-// ExtendDeadline pushes the connection I/O deadline forward.
+// ExtendDeadline pushes the connection I/O deadline forward. Re-arming
+// is rate-limited to once per quarter of the timeout budget, so the
+// effective deadline stays within [3/4·Timeout, Timeout] of the last
+// request instead of being re-armed (and a timer re-allocated) on
+// every one.
 func (c *Client) ExtendDeadline() {
-	_ = c.tr.Conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+	now := time.Now()
+	if c.deadlineAt.Sub(now) > 3*c.opts.Timeout/4 {
+		return
+	}
+	c.deadlineAt = now.Add(c.opts.Timeout)
+	_ = c.tr.Conn.SetDeadline(c.deadlineAt)
 }
 
 // ChannelSecurity describes the secure channel to open.

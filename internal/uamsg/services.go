@@ -57,8 +57,64 @@ type Response interface {
 // secure-channel messages.
 func Encode(m Message) []byte {
 	e := uatypes.NewEncoder(256)
+	EncodeTo(e, m)
+	return e.Bytes()
+}
+
+// EncodeTo serializes a message into an existing encoder, letting hot
+// paths reuse pooled buffers (uatypes.AcquireEncoder) instead of
+// allocating one per message like Encode.
+func EncodeTo(e *uatypes.Encoder, m Message) {
 	uatypes.NewNumericNodeID(0, m.TypeID()).Encode(e)
 	m.encodeBody(e)
+}
+
+// PreEncodedResponse is a service response whose body after the
+// ResponseHeader was encoded ahead of time. Simulated servers use it to
+// serve per-wave-immutable payloads (endpoint tables with embedded
+// certificates, discovery listings) from cached bytes while the header
+// — timestamp and request handle — stays fresh per request. The wire
+// encoding is byte-identical to encoding the equivalent structured
+// response.
+type PreEncodedResponse struct {
+	ID     uint32 // numeric binary-encoding node id of the response type
+	Header ResponseHeader
+	Suffix []byte // encoded body after the header; must not be mutated
+}
+
+// TypeID implements Message.
+func (m *PreEncodedResponse) TypeID() uint32 { return m.ID }
+
+// ResponseHeader implements Response.
+func (m *PreEncodedResponse) ResponseHeader() *ResponseHeader { return &m.Header }
+
+func (m *PreEncodedResponse) encodeBody(e *uatypes.Encoder) {
+	m.Header.encode(e)
+	e.WriteRaw(m.Suffix)
+}
+
+// EncodeEndpointsArray returns the wire encoding of an
+// EndpointDescription array — the cacheable suffix of a
+// GetEndpointsResponse.
+func EncodeEndpointsArray(eps []EndpointDescription) []byte {
+	e := uatypes.NewEncoder(512)
+	writeEndpointArray(e, eps)
+	return e.Bytes()
+}
+
+// EncodeServersArray returns the wire encoding of an
+// ApplicationDescription array — the cacheable suffix of a
+// FindServersResponse.
+func EncodeServersArray(servers []ApplicationDescription) []byte {
+	e := uatypes.NewEncoder(256)
+	if servers == nil {
+		e.WriteInt32(-1)
+		return e.Bytes()
+	}
+	e.WriteInt32(int32(len(servers)))
+	for _, s := range servers {
+		s.encode(e)
+	}
 	return e.Bytes()
 }
 

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"hash"
+	"sync"
 
 	"repro/internal/uacert"
 )
@@ -360,6 +361,33 @@ type DerivedKeys struct {
 	SigningKey    []byte
 	EncryptionKey []byte
 	IV            []byte
+
+	// block caches the expanded AES cipher for EncryptionKey so the
+	// per-chunk encrypt/decrypt path skips the key schedule. DeriveKeys
+	// populates it; zero-value DerivedKeys fall back to expanding on
+	// demand. The cached cipher.Block is stateless and safe for
+	// concurrent use.
+	block cipher.Block
+	// macPool recycles keyed HMAC states across chunks (hmac.New hashes
+	// the key pads on every call; Reset on a pooled instance restores
+	// the precomputed state instead). Populated by DeriveKeys;
+	// zero-value DerivedKeys fall back to a fresh HMAC per call.
+	macPool sync.Pool
+}
+
+// aesBlock returns the cached cipher. Zero-value DerivedKeys (built
+// without DeriveKeys) expand the key per call instead of caching — a
+// lazy unsynchronized write would be a data race when such keys are
+// shared across goroutines.
+func (k *DerivedKeys) aesBlock() (cipher.Block, error) {
+	if k.block != nil {
+		return k.block, nil
+	}
+	block, err := aes.NewCipher(k.EncryptionKey)
+	if err != nil {
+		return nil, fmt.Errorf("uapolicy: %w", err)
+	}
+	return block, nil
 }
 
 // pHash implements the TLS-style P_hash PRF used by OPC UA
@@ -389,11 +417,20 @@ func (p *Policy) DeriveKeys(secret, seed []byte) (*DerivedKeys, error) {
 	encLen := p.symKeyBits / 8
 	const ivLen = aes.BlockSize
 	material := pHash(p.prf, secret, seed, p.sigKeyLen+encLen+ivLen)
-	return &DerivedKeys{
+	keys := &DerivedKeys{
 		SigningKey:    material[:p.sigKeyLen],
 		EncryptionKey: material[p.sigKeyLen : p.sigKeyLen+encLen],
 		IV:            material[p.sigKeyLen+encLen:],
-	}, nil
+	}
+	// Expand the AES key schedule once per channel direction instead of
+	// once per chunk in SymEncrypt/SymDecrypt.
+	block, err := aes.NewCipher(keys.EncryptionKey)
+	if err != nil {
+		return nil, fmt.Errorf("uapolicy: %w", err)
+	}
+	keys.block = block
+	keys.macPool.New = func() any { return hmac.New(p.symSigHash, keys.SigningKey) }
+	return keys, nil
 }
 
 // --- Symmetric operations (MSG/CLO chunks) ---
@@ -409,7 +446,14 @@ func (p *Policy) SymSign(keys *DerivedKeys, data []byte) ([]byte, error) {
 	if p.Insecure {
 		return nil, ErrNoCrypto
 	}
-	mac := hmac.New(p.symSigHash, keys.SigningKey)
+	var mac hash.Hash
+	if keys.macPool.New != nil {
+		mac = keys.macPool.Get().(hash.Hash)
+		mac.Reset()
+		defer keys.macPool.Put(mac)
+	} else {
+		mac = hmac.New(p.symSigHash, keys.SigningKey)
+	}
 	mac.Write(data)
 	return mac.Sum(nil), nil
 }
@@ -429,9 +473,9 @@ func (p *Policy) SymVerify(keys *DerivedKeys, data, sig []byte) error {
 // SymEncrypt encrypts data in place with AES-CBC. len(data) must be a
 // multiple of the block size.
 func (p *Policy) SymEncrypt(keys *DerivedKeys, data []byte) error {
-	block, err := aes.NewCipher(keys.EncryptionKey)
+	block, err := keys.aesBlock()
 	if err != nil {
-		return fmt.Errorf("uapolicy: %w", err)
+		return err
 	}
 	if len(data)%block.BlockSize() != 0 {
 		return fmt.Errorf("uapolicy: plaintext length %d not block-aligned", len(data))
@@ -442,9 +486,9 @@ func (p *Policy) SymEncrypt(keys *DerivedKeys, data []byte) error {
 
 // SymDecrypt decrypts data in place with AES-CBC.
 func (p *Policy) SymDecrypt(keys *DerivedKeys, data []byte) error {
-	block, err := aes.NewCipher(keys.EncryptionKey)
+	block, err := keys.aesBlock()
 	if err != nil {
-		return fmt.Errorf("uapolicy: %w", err)
+		return err
 	}
 	if len(data)%block.BlockSize() != 0 {
 		return fmt.Errorf("uapolicy: ciphertext length %d not block-aligned", len(data))

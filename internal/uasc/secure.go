@@ -45,6 +45,10 @@ type Channel struct {
 	sendKeys *uapolicy.DerivedKeys
 	recvKeys *uapolicy.DerivedKeys
 
+	// parts is the message-reassembly buffer reused across Recv calls
+	// (decoded messages never alias it; every decoder read copies).
+	parts []byte
+
 	closed bool
 }
 
@@ -100,13 +104,13 @@ type sealOpts struct {
 	policy     *uapolicy.Policy
 }
 
-// seal assembles and secures one chunk. prefix is everything between the
-// message header and the sequence header (channel/token ids plus, for
-// OPN, the asymmetric security header). Returns the full wire frame.
-func seal(msgType string, chunkFlag byte, prefix, seqHdr, body []byte, o sealOpts) ([]byte, error) {
-	plain := make([]byte, 0, len(seqHdr)+len(body)+64)
-	plain = append(plain, seqHdr...)
-	plain = append(plain, body...)
+// seal assembles and secures one chunk into dst, which is reset first
+// (callers keep one pooled encoder per message and reuse it across
+// chunks). prefix is everything between the message header and the
+// sequence header (channel/token ids plus, for OPN, the asymmetric
+// security header). dst holds the full wire frame on success.
+func seal(dst *uatypes.Encoder, msgType string, chunkFlag byte, prefix, seqHdr, body []byte, o sealOpts) error {
+	dst.Reset()
 
 	var sigSize int
 	if o.sign {
@@ -117,72 +121,73 @@ func seal(msgType string, chunkFlag byte, prefix, seqHdr, body []byte, o sealOpt
 		}
 	}
 
+	plainLen := sequenceHeaderSize + len(body)
 	var msgSize, padLen, plainBlock, cipherBlock int
 	if o.encrypt {
 		var err error
 		if o.encryptKey != nil {
 			plainBlock, err = o.policy.AsymPlainBlockSize(o.encryptKey)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			cipherBlock = o.policy.AsymCipherBlockSize(o.encryptKey)
 		} else {
 			plainBlock = o.policy.SymBlockSize()
 			cipherBlock = plainBlock
 		}
-		unpadded := len(plain) + padLenFieldSize + sigSize
+		unpadded := plainLen + padLenFieldSize + sigSize
 		padLen = (plainBlock - unpadded%plainBlock) % plainBlock
 		plainTotal := unpadded + padLen
 		msgSize = chunkHeaderSize + len(prefix) + plainTotal/plainBlock*cipherBlock
 	} else {
-		msgSize = chunkHeaderSize + len(prefix) + len(plain) + sigSize
+		msgSize = chunkHeaderSize + len(prefix) + plainLen + sigSize
 	}
 
-	frame := make([]byte, 0, msgSize)
-	frame = append(frame, msgType...)
-	frame = append(frame, chunkFlag)
-	frame = binary.LittleEndian.AppendUint32(frame, uint32(msgSize))
-	frame = append(frame, prefix...)
-	securedStart := len(frame)
-	frame = append(frame, plain...)
+	dst.WriteRawString(msgType)
+	dst.WriteUint8(chunkFlag)
+	dst.WriteUint32(uint32(msgSize))
+	dst.WriteRaw(prefix)
+	securedStart := dst.Len()
+	dst.WriteRaw(seqHdr)
+	dst.WriteRaw(body)
 	if o.encrypt {
 		for i := 0; i < padLen; i++ {
-			frame = append(frame, byte(padLen))
+			dst.WriteUint8(byte(padLen))
 		}
-		frame = binary.LittleEndian.AppendUint16(frame, uint16(padLen))
+		dst.WriteUint16(uint16(padLen))
 	}
 	if o.sign {
 		var sig []byte
 		var err error
 		if o.signKey != nil {
-			sig, err = o.policy.AsymSign(o.signKey, frame)
+			sig, err = o.policy.AsymSign(o.signKey, dst.Bytes())
 		} else {
-			sig, err = o.policy.SymSign(o.symKeys, frame)
+			sig, err = o.policy.SymSign(o.symKeys, dst.Bytes())
 		}
 		if err != nil {
-			return nil, fmt.Errorf("uasc: signing chunk: %w", err)
+			return fmt.Errorf("uasc: signing chunk: %w", err)
 		}
-		frame = append(frame, sig...)
+		dst.WriteRaw(sig)
 	}
 	if o.encrypt {
-		var ct []byte
-		var err error
+		secured := dst.Bytes()[securedStart:]
 		if o.encryptKey != nil {
-			ct, err = o.policy.AsymEncrypt(o.encryptKey, frame[securedStart:])
+			ct, err := o.policy.AsymEncrypt(o.encryptKey, secured)
+			if err != nil {
+				return fmt.Errorf("uasc: encrypting chunk: %w", err)
+			}
+			dst.Truncate(securedStart)
+			dst.WriteRaw(ct)
 		} else {
-			buf := frame[securedStart:]
-			err = o.policy.SymEncrypt(o.symKeys, buf)
-			ct = buf
+			if err := o.policy.SymEncrypt(o.symKeys, secured); err != nil {
+				return fmt.Errorf("uasc: encrypting chunk: %w", err)
+			}
 		}
-		if err != nil {
-			return nil, fmt.Errorf("uasc: encrypting chunk: %w", err)
-		}
-		frame = append(frame[:securedStart], ct...)
 	}
-	if len(frame) != msgSize {
-		return nil, fmt.Errorf("uasc: internal error: frame size %d != %d", len(frame), msgSize)
+	if dst.Len() != msgSize {
+		return fmt.Errorf("uasc: internal error: frame size %d != %d", dst.Len(), msgSize)
 	}
-	return frame, nil
+	return nil
 }
 
 // openOpts captures the treatment of a received chunk.
@@ -196,7 +201,9 @@ type openOpts struct {
 }
 
 // open verifies and decrypts a received chunk body (without the 8-byte
-// message header) and returns sequence header and payload.
+// message header) and returns sequence header and payload. The returned
+// slices alias body (or, for asymmetric decryption, a fresh plaintext
+// buffer); callers copy what they keep.
 func open(msgType string, chunkFlag byte, body []byte, prefixLen int, o openOpts) (seqHdr, payload []byte, err error) {
 	if len(body) < prefixLen {
 		return nil, nil, errors.New("uasc: chunk shorter than security header")
@@ -225,17 +232,18 @@ func open(msgType string, chunkFlag byte, body []byte, prefixLen int, o openOpts
 		sig := secured[len(secured)-sigSize:]
 		// Reassemble exactly the bytes the sender signed: header with the
 		// final frame size, plaintext prefix, secured region minus sig.
-		signed := make([]byte, 0, chunkHeaderSize+len(body))
-		signed = append(signed, msgType...)
-		signed = append(signed, chunkFlag)
-		signed = binary.LittleEndian.AppendUint32(signed, uint32(chunkHeaderSize+len(body)))
-		signed = append(signed, body[:prefixLen]...)
-		signed = append(signed, secured[:len(secured)-sigSize]...)
+		signed := uatypes.AcquireEncoder(chunkHeaderSize + len(body))
+		signed.WriteRawString(msgType)
+		signed.WriteUint8(chunkFlag)
+		signed.WriteUint32(uint32(chunkHeaderSize + len(body)))
+		signed.WriteRaw(body[:prefixLen])
+		signed.WriteRaw(secured[:len(secured)-sigSize])
 		if o.verifyKey != nil {
-			err = o.policy.AsymVerify(o.verifyKey, signed, sig)
+			err = o.policy.AsymVerify(o.verifyKey, signed.Bytes(), sig)
 		} else {
-			err = o.policy.SymVerify(o.symKeys, signed, sig)
+			err = o.policy.SymVerify(o.symKeys, signed.Bytes(), sig)
 		}
+		uatypes.ReleaseEncoder(signed)
 		if err != nil {
 			return nil, nil, fmt.Errorf("uasc: chunk signature: %w", err)
 		}
@@ -273,7 +281,9 @@ func Open(t *Transport, sec ChannelSecurity, lifetimeMS uint32) (*Channel, error
 		if len(sec.RemoteCertDER) == 0 {
 			return nil, errors.New("uasc: policy requires the server certificate")
 		}
-		remote, err := uacert.Parse(sec.RemoteCertDER)
+		// Server certificates repeat heavily across grabs and waves (the
+		// paper's Figure 5 reuse clusters), so the parse is memoized.
+		remote, err := uacert.ParseCached(sec.RemoteCertDER)
 		if err != nil {
 			return nil, fmt.Errorf("uasc: server certificate: %w", err)
 		}
@@ -294,11 +304,11 @@ func Open(t *Transport, sec ChannelSecurity, lifetimeMS uint32) (*Channel, error
 		RequestedLifetime: lifetimeMS,
 	}
 	reqID := ch.newRequestID()
-	if err := ch.sendOPN(reqID, uamsg.Encode(req)); err != nil {
+	if err := ch.sendOPNMsg(reqID, req); err != nil {
 		return nil, err
 	}
 
-	chunk, err := readRaw(t.Conn, t.recv.ReceiveBufSize)
+	chunk, err := t.readChunk()
 	if err != nil {
 		return nil, fmt.Errorf("uasc: reading OPN response: %w", err)
 	}
@@ -342,11 +352,12 @@ func (ch *Channel) newRequestID() uint32 { return atomic.AddUint32(&ch.nextReqID
 
 func (ch *Channel) nextSeq() uint32 { return atomic.AddUint32(&ch.sendSeq, 1) }
 
-func seqHeader(seq, reqID uint32) []byte {
-	b := make([]byte, sequenceHeaderSize)
-	binary.LittleEndian.PutUint32(b[:4], seq)
-	binary.LittleEndian.PutUint32(b[4:], reqID)
-	return b
+// sendOPNMsg encodes and sends an OPN message body via a pooled buffer.
+func (ch *Channel) sendOPNMsg(reqID uint32, msg uamsg.Message) error {
+	e := uatypes.AcquireEncoder(256)
+	defer uatypes.ReleaseEncoder(e)
+	uamsg.EncodeTo(e, msg)
+	return ch.sendOPN(reqID, e.Bytes())
 }
 
 // sendOPN sends an asymmetric-secured OPN chunk.
@@ -363,8 +374,13 @@ func (ch *Channel) sendOPN(reqID uint32, body []byte) error {
 	binary.LittleEndian.PutUint32(prefix, ch.ChannelID)
 	prefix = append(prefix, encodeAsymHeader(ch.sec.Policy.URI, senderCert, thumb)...)
 
-	frame, err := seal(uamsg.MsgTypeOpen, uamsg.ChunkFinal, prefix,
-		seqHeader(ch.nextSeq(), reqID), body, sealOpts{
+	var seqHdr [sequenceHeaderSize]byte
+	binary.LittleEndian.PutUint32(seqHdr[:4], ch.nextSeq())
+	binary.LittleEndian.PutUint32(seqHdr[4:], reqID)
+	frame := uatypes.AcquireEncoder(chunkHeaderSize + len(prefix) + len(body) + 512)
+	defer uatypes.ReleaseEncoder(frame)
+	err := seal(frame, uamsg.MsgTypeOpen, uamsg.ChunkFinal, prefix,
+		seqHdr[:], body, sealOpts{
 			encrypt:    secure,
 			sign:       secure,
 			signKey:    ch.sec.LocalKey,
@@ -374,7 +390,7 @@ func (ch *Channel) sendOPN(reqID uint32, body []byte) error {
 	if err != nil {
 		return err
 	}
-	if _, err := ch.t.Conn.Write(frame); err != nil {
+	if _, err := ch.t.Conn.Write(frame.Bytes()); err != nil {
 		return fmt.Errorf("uasc: sending OPN: %w", err)
 	}
 	return nil
@@ -395,7 +411,7 @@ func (ch *Channel) openOPN(chunk rawChunk) (uamsg.Message, error) {
 	secure := !ch.sec.Policy.Insecure
 	var verifyKey *rsa.PublicKey
 	if secure {
-		sender, err := uacert.Parse(hdr.senderCert)
+		sender, err := uacert.ParseCached(hdr.senderCert)
 		if err != nil {
 			return nil, fmt.Errorf("uasc: OPN sender certificate: %w", err)
 		}
@@ -432,6 +448,7 @@ func (ch *Channel) maxChunkBody() int {
 }
 
 // sendSecured sends a service message as one or more MSG/CLO chunks.
+// One pooled frame buffer is reused across all chunks of the message.
 func (ch *Channel) sendSecured(msgType string, reqID uint32, body []byte) error {
 	maxBody := ch.maxChunkBody()
 	nChunks := (len(body) + maxBody - 1) / maxBody
@@ -441,7 +458,7 @@ func (ch *Channel) sendSecured(msgType string, reqID uint32, body []byte) error 
 	if lim := ch.t.send.MaxChunkCount; lim > 0 && uint32(nChunks) > lim {
 		return ErrTooManyChunks
 	}
-	prefix := make([]byte, symHeaderSize)
+	var prefix [symHeaderSize]byte
 	binary.LittleEndian.PutUint32(prefix[:4], ch.ChannelID)
 	binary.LittleEndian.PutUint32(prefix[4:], ch.TokenID)
 
@@ -451,6 +468,13 @@ func (ch *Channel) sendSecured(msgType string, reqID uint32, body []byte) error 
 		symKeys: ch.sendKeys,
 		policy:  ch.sec.Policy,
 	}
+	frameCap := maxBody + chunkHeaderSize + symHeaderSize + sequenceHeaderSize + 256
+	if len(body) < maxBody {
+		frameCap = len(body) + chunkHeaderSize + symHeaderSize + sequenceHeaderSize + 256
+	}
+	frame := uatypes.AcquireEncoder(frameCap)
+	defer uatypes.ReleaseEncoder(frame)
+	var seqHdr [sequenceHeaderSize]byte
 	for i := 0; i < nChunks; i++ {
 		start := i * maxBody
 		end := start + maxBody
@@ -461,11 +485,12 @@ func (ch *Channel) sendSecured(msgType string, reqID uint32, body []byte) error 
 		if i == nChunks-1 {
 			flag = uamsg.ChunkFinal
 		}
-		frame, err := seal(msgType, flag, prefix, seqHeader(ch.nextSeq(), reqID), body[start:end], opts)
-		if err != nil {
+		binary.LittleEndian.PutUint32(seqHdr[:4], ch.nextSeq())
+		binary.LittleEndian.PutUint32(seqHdr[4:], reqID)
+		if err := seal(frame, msgType, flag, prefix[:], seqHdr[:], body[start:end], opts); err != nil {
 			return err
 		}
-		if _, err := ch.t.Conn.Write(frame); err != nil {
+		if _, err := ch.t.Conn.Write(frame.Bytes()); err != nil {
 			return fmt.Errorf("uasc: sending %s chunk: %w", msgType, err)
 		}
 	}
@@ -481,11 +506,12 @@ type Received struct {
 
 // Recv reads and reassembles the next message from the peer.
 func (ch *Channel) Recv() (*Received, error) {
-	var parts []byte
+	parts := ch.parts[:0]
+	defer func() { ch.parts = parts[:0] }()
 	var reqID uint32
 	var chunks uint32
 	for {
-		chunk, err := readRaw(ch.t.Conn, ch.t.recv.ReceiveBufSize)
+		chunk, err := ch.t.readChunk()
 		if err != nil {
 			return nil, err
 		}
@@ -530,7 +556,7 @@ func (ch *Channel) Recv() (*Received, error) {
 			return nil, err
 		}
 		id := binary.LittleEndian.Uint32(seqHdr[4:])
-		if parts == nil {
+		if len(parts) == 0 && chunks == 0 {
 			reqID = id
 		} else if id != reqID {
 			return nil, fmt.Errorf("uasc: interleaved request ids %d and %d", reqID, id)
@@ -556,7 +582,7 @@ func (ch *Channel) Recv() (*Received, error) {
 // Request sends a service request and waits for its response.
 func (ch *Channel) Request(req uamsg.Request) (uamsg.Message, error) {
 	reqID := ch.newRequestID()
-	if err := ch.sendSecured(uamsg.MsgTypeMessage, reqID, uamsg.Encode(req)); err != nil {
+	if err := ch.sendMsg(uamsg.MsgTypeMessage, reqID, req); err != nil {
 		return nil, err
 	}
 	for {
@@ -570,9 +596,18 @@ func (ch *Channel) Request(req uamsg.Request) (uamsg.Message, error) {
 	}
 }
 
+// sendMsg encodes a service message into a pooled buffer and sends it
+// as MSG/CLO chunks.
+func (ch *Channel) sendMsg(msgType string, reqID uint32, msg uamsg.Message) error {
+	e := uatypes.AcquireEncoder(512)
+	defer uatypes.ReleaseEncoder(e)
+	uamsg.EncodeTo(e, msg)
+	return ch.sendSecured(msgType, reqID, e.Bytes())
+}
+
 // SendResponse sends a service response for the given request id.
 func (ch *Channel) SendResponse(reqID uint32, resp uamsg.Message) error {
-	return ch.sendSecured(uamsg.MsgTypeMessage, reqID, uamsg.Encode(resp))
+	return ch.sendMsg(uamsg.MsgTypeMessage, reqID, resp)
 }
 
 // Close sends a CloseSecureChannel request and closes the transport.
@@ -584,7 +619,7 @@ func (ch *Channel) Close() error {
 	req := &uamsg.CloseSecureChannelRequest{
 		Header: uamsg.RequestHeader{Timestamp: time.Now()},
 	}
-	_ = ch.sendSecured(uamsg.MsgTypeClose, ch.newRequestID(), uamsg.Encode(req))
+	_ = ch.sendMsg(uamsg.MsgTypeClose, ch.newRequestID(), req)
 	return ch.t.Close()
 }
 
@@ -607,7 +642,7 @@ var channelIDCounter atomic.Uint32
 
 // Accept performs the server side of secure-channel establishment.
 func Accept(t *Transport, cfg ServerConfig) (*Channel, error) {
-	chunk, err := readRaw(t.Conn, t.recv.ReceiveBufSize)
+	chunk, err := t.readChunk()
 	if err != nil {
 		return nil, fmt.Errorf("uasc: reading OPN: %w", err)
 	}
@@ -651,7 +686,10 @@ func Accept(t *Transport, cfg ServerConfig) (*Channel, error) {
 				return nil, fmt.Errorf("uasc: client certificate rejected: %w", code)
 			}
 		}
-		clientCert, err := uacert.Parse(hdr.senderCert)
+		// The scanner presents one self-signed certificate to every
+		// server it probes; memoizing the parse turns the per-connection
+		// cost into a cache hit.
+		clientCert, err := uacert.ParseCached(hdr.senderCert)
 		if err != nil {
 			_ = sendError(t.Conn, uastatus.BadCertificateInvalid, "unparseable certificate")
 			return nil, fmt.Errorf("uasc: client certificate: %w", err)
@@ -725,7 +763,7 @@ func Accept(t *Transport, cfg ServerConfig) (*Channel, error) {
 			return nil, err
 		}
 	}
-	if err := ch.sendOPN(1, uamsg.Encode(resp)); err != nil {
+	if err := ch.sendOPNMsg(1, resp); err != nil {
 		return nil, err
 	}
 	return ch, nil

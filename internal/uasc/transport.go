@@ -63,6 +63,10 @@ type Transport struct {
 
 	send Limits // limits for outgoing chunks (peer's receive capacity)
 	recv Limits // limits for incoming chunks (our receive capacity)
+
+	// readBuf is the chunk receive buffer reused across readChunk calls;
+	// the secure-channel layer copies everything it keeps out of it.
+	readBuf []byte
 }
 
 // SendLimits returns the limits applied to outgoing chunks.
@@ -114,6 +118,58 @@ func readRaw(r io.Reader, maxSize uint32) (rawChunk, error) {
 	}
 	return rawChunk{
 		msgType:   string(hdr[:3]),
+		chunkType: hdr[3],
+		body:      body,
+	}, nil
+}
+
+// internMsgType maps the three header bytes onto the package's message
+// type constants so per-chunk reads do not allocate a string.
+func internMsgType(b []byte) string {
+	switch {
+	case string(b) == uamsg.MsgTypeMessage:
+		return uamsg.MsgTypeMessage
+	case string(b) == uamsg.MsgTypeOpen:
+		return uamsg.MsgTypeOpen
+	case string(b) == uamsg.MsgTypeClose:
+		return uamsg.MsgTypeClose
+	case string(b) == uamsg.MsgTypeError:
+		return uamsg.MsgTypeError
+	case string(b) == uamsg.MsgTypeHello:
+		return uamsg.MsgTypeHello
+	case string(b) == uamsg.MsgTypeAcknowledge:
+		return uamsg.MsgTypeAcknowledge
+	default:
+		return string(b)
+	}
+}
+
+// readChunk reads one framed chunk into the transport's reusable
+// receive buffer, enforcing the negotiated receive size. The returned
+// chunk body aliases that buffer and is valid only until the next
+// readChunk call; callers copy what they keep.
+func (t *Transport) readChunk() (rawChunk, error) {
+	var hdr [chunkHeaderSize]byte
+	if _, err := io.ReadFull(t.Conn, hdr[:]); err != nil {
+		return rawChunk{}, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[4:])
+	if size < chunkHeaderSize {
+		return rawChunk{}, fmt.Errorf("uasc: frame size %d too small", size)
+	}
+	if maxSize := t.recv.ReceiveBufSize; maxSize > 0 && size > maxSize {
+		return rawChunk{}, fmt.Errorf("%w: %d > %d", ErrChunkTooLarge, size, maxSize)
+	}
+	n := int(size - chunkHeaderSize)
+	if cap(t.readBuf) < n {
+		t.readBuf = make([]byte, n)
+	}
+	body := t.readBuf[:n]
+	if _, err := io.ReadFull(t.Conn, body); err != nil {
+		return rawChunk{}, err
+	}
+	return rawChunk{
+		msgType:   internMsgType(hdr[:3]),
 		chunkType: hdr[3],
 		body:      body,
 	}, nil

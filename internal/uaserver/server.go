@@ -86,6 +86,19 @@ type Server struct {
 	endpoints []uamsg.EndpointDescription
 	appDesc   uamsg.ApplicationDescription
 
+	// Response caches: the endpoint table and discovery listing are
+	// fixed at construction (per wave state — the world builds one
+	// server per certificate/software revision), so their wire
+	// encodings — including the embedded certificate chain — are
+	// produced once here and served as cached bytes. Only the response
+	// header (timestamp, request handle) is encoded per request; nonces
+	// and signatures never live in these messages. respCache gates the
+	// fast path so equivalence tests can compare against the structured
+	// encoding on the same server instance.
+	epSuffix  []byte // GetEndpointsResponse body after the header
+	fsSuffix  []byte // FindServersResponse body after the header
+	respCache atomic.Bool
+
 	mu       sync.Mutex
 	closed   bool
 	listener net.Listener
@@ -138,8 +151,26 @@ func New(cfg Config) (*Server, error) {
 		s.appDesc.ApplicationType = uamsg.ApplicationDiscoveryServer
 	}
 	s.endpoints = s.buildEndpoints()
+	s.epSuffix = uamsg.EncodeEndpointsArray(s.endpoints)
+	s.fsSuffix = uamsg.EncodeServersArray(s.knownServers())
+	s.respCache.Store(true)
 	return s, nil
 }
+
+// knownServers assembles the FindServers listing: this application
+// first, then the configured announcements.
+func (s *Server) knownServers() []uamsg.ApplicationDescription {
+	servers := make([]uamsg.ApplicationDescription, 0, 1+len(s.cfg.KnownServers))
+	servers = append(servers, s.appDesc)
+	return append(servers, s.cfg.KnownServers...)
+}
+
+// EnableResponseCache toggles serving GetEndpoints/FindServers from the
+// pre-encoded per-server byte cache. It exists for the equivalence
+// gates, which pin the cached wire encoding byte-identical to the
+// structured one on the same server instance; production servers keep
+// it on.
+func (s *Server) EnableResponseCache(on bool) { s.respCache.Store(on) }
 
 func (s *Server) buildEndpoints() []uamsg.EndpointDescription {
 	urls := append([]string{s.cfg.EndpointURL}, s.cfg.ExtraEndpointURLs...)
@@ -320,16 +351,28 @@ func okHeader(handle uint32) uamsg.ResponseHeader {
 func (s *Server) dispatch(ch *uasc.Channel, sessions map[string]*session, msg uamsg.Message) uamsg.Message {
 	switch req := msg.(type) {
 	case *uamsg.GetEndpointsRequest:
+		if s.respCache.Load() {
+			return &uamsg.PreEncodedResponse{
+				ID:     uamsg.IDGetEndpointsResponse,
+				Header: okHeader(req.Header.RequestHandle),
+				Suffix: s.epSuffix,
+			}
+		}
 		return &uamsg.GetEndpointsResponse{
 			Header:    okHeader(req.Header.RequestHandle),
 			Endpoints: s.endpoints,
 		}
 	case *uamsg.FindServersRequest:
-		servers := []uamsg.ApplicationDescription{s.appDesc}
-		servers = append(servers, s.cfg.KnownServers...)
+		if s.respCache.Load() {
+			return &uamsg.PreEncodedResponse{
+				ID:     uamsg.IDFindServersResponse,
+				Header: okHeader(req.Header.RequestHandle),
+				Suffix: s.fsSuffix,
+			}
+		}
 		return &uamsg.FindServersResponse{
 			Header:  okHeader(req.Header.RequestHandle),
-			Servers: servers,
+			Servers: s.knownServers(),
 		}
 	case *uamsg.CreateSessionRequest:
 		return s.createSession(ch, sessions, req)
@@ -384,11 +427,13 @@ func (s *Server) dispatch(ch *uasc.Channel, sessions map[string]*session, msg ua
 }
 
 func lookupSession(sessions map[string]*session, token uatypes.NodeID) *session {
-	return sessions[token.Key()]
+	var buf [48]byte
+	return sessions[string(token.AppendKey(buf[:0]))]
 }
 
 func activeSession(sessions map[string]*session, token uatypes.NodeID) *session {
-	sess := sessions[token.Key()]
+	var buf [48]byte
+	sess := sessions[string(token.AppendKey(buf[:0]))]
 	if sess == nil || !sess.activated {
 		return nil
 	}

@@ -54,6 +54,11 @@ func (e *Encoder) Len() int { return len(e.buf) }
 // Reset truncates the buffer for reuse.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
+// Truncate shortens the buffer to n bytes; n must not exceed Len.
+// The secure-channel layer uses it to replace an in-place plaintext
+// suffix with its ciphertext.
+func (e *Encoder) Truncate(n int) { e.buf = e.buf[:n] }
+
 // WriteBool encodes a Boolean as one byte.
 func (e *Encoder) WriteBool(v bool) {
 	if v {
@@ -121,6 +126,9 @@ func (e *Encoder) WriteByteString(b []byte) {
 
 // WriteRaw appends raw bytes without a length prefix.
 func (e *Encoder) WriteRaw(b []byte) { e.buf = append(e.buf, b...) }
+
+// WriteRawString appends raw string bytes without a length prefix.
+func (e *Encoder) WriteRawString(s string) { e.buf = append(e.buf, s...) }
 
 // WriteTime encodes a DateTime as 100 ns ticks since 1601-01-01 UTC.
 // The zero time encodes as 0.

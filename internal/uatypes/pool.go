@@ -1,0 +1,70 @@
+package uatypes
+
+import "sync"
+
+// Encoder pooling with size-class reuse. Message encoding and chunk
+// sealing are the measurement loop's hottest allocation sites: every
+// grab encodes a handful of requests and the simulated servers encode
+// responses for thousands of connections per wave. Pooled encoders make
+// the steady-state encode path allocation-free.
+//
+// Buffers are grouped into size classes so a burst of large messages
+// (endpoint descriptions with embedded certificates are several KiB)
+// does not pin every pooled buffer at the largest size, and small
+// messages keep hitting small warm buffers.
+var encoderClasses = [...]int{256, 4096, 1 << 16}
+
+// maxPooledEncoderBuf bounds the capacity of buffers returned to the
+// pool; anything larger (a multi-chunk message body) is left for GC.
+const maxPooledEncoderBuf = 1 << 20
+
+var encoderPools [len(encoderClasses)]sync.Pool
+
+// AcquireEncoder returns a pooled encoder whose buffer has at least the
+// given capacity. Release it with ReleaseEncoder when the encoded bytes
+// are no longer referenced; the returned slice of Bytes aliases the
+// pooled buffer, so callers must not retain it past the release.
+func AcquireEncoder(capacity int) *Encoder {
+	ci := len(encoderClasses) - 1
+	for i, sz := range encoderClasses {
+		if capacity <= sz {
+			ci = i
+			break
+		}
+	}
+	if v := encoderPools[ci].Get(); v != nil {
+		e := v.(*Encoder)
+		if cap(e.buf) < capacity {
+			e.buf = make([]byte, 0, capacity)
+		}
+		return e
+	}
+	sz := encoderClasses[ci]
+	if capacity > sz {
+		sz = capacity
+	}
+	return &Encoder{buf: make([]byte, 0, sz)}
+}
+
+// ReleaseEncoder resets the encoder and returns it to its size-class
+// pool. Double release corrupts encoded messages; release exactly once,
+// after the encoded bytes have been copied or written out.
+func ReleaseEncoder(e *Encoder) {
+	if e == nil || cap(e.buf) > maxPooledEncoderBuf {
+		return
+	}
+	// Classify by the largest class the buffer still covers, so every
+	// buffer inside pool i is guaranteed to hold encoderClasses[i]
+	// bytes without growing (the invariant AcquireEncoder relies on).
+	ci := -1
+	for i, sz := range encoderClasses {
+		if cap(e.buf) >= sz {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return
+	}
+	e.Reset()
+	encoderPools[ci].Put(e)
+}

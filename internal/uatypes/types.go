@@ -115,18 +115,34 @@ func (n NodeID) IsNull() bool {
 	return false
 }
 
-// Key returns a map-key string uniquely identifying the node id.
-func (n NodeID) Key() string {
+// AppendKey appends the node id's map-key representation to dst and
+// returns the result. Lookups on the address-space and session hot
+// paths use it with a stack buffer and the map[string(bytes)] pattern,
+// which the compiler compiles without allocating the key.
+func (n NodeID) AppendKey(dst []byte) []byte {
+	dst = append(dst, "ns="...)
+	dst = strconv.AppendUint(dst, uint64(n.Namespace), 10)
 	switch n.Type {
 	case NodeIDTypeString:
-		return fmt.Sprintf("ns=%d;s=%s", n.Namespace, n.Text)
+		dst = append(dst, ";s="...)
+		return append(dst, n.Text...)
 	case NodeIDTypeGuid:
-		return fmt.Sprintf("ns=%d;g=%s", n.Namespace, n.GuidID)
+		dst = append(dst, ";g="...)
+		return append(dst, n.GuidID.String()...)
 	case NodeIDTypeByteString:
-		return fmt.Sprintf("ns=%d;b=%x", n.Namespace, n.Bytes)
+		dst = append(dst, ";b="...)
+		return hex.AppendEncode(dst, n.Bytes)
 	default:
-		return fmt.Sprintf("ns=%d;i=%d", n.Namespace, n.Numeric)
+		dst = append(dst, ";i="...)
+		return strconv.AppendUint(dst, uint64(n.Numeric), 10)
 	}
+}
+
+// Key returns a map-key string uniquely identifying the node id. The
+// format matches the historical Sprintf-based one byte for byte.
+func (n NodeID) Key() string {
+	var buf [48]byte
+	return string(n.AppendKey(buf[:0]))
 }
 
 // String renders the NodeID in the standard textual notation.

@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
-	"strconv"
 	"time"
 
 	"repro/internal/simnet"
@@ -160,7 +159,9 @@ func (s *Snapshot) shardFor(ip netip.Addr) (*shard, bool) {
 // without spawning handlers; the result matches DialContext exactly.
 func (s *Snapshot) OpenPort(ip netip.Addr, port int) bool {
 	sh, inUniverse := s.shardFor(ip)
-	if sh.excluded[ip] {
+	// Exclusion lists are tiny (usually empty); skip the map hash on
+	// the per-probe path when the shard has none.
+	if len(sh.excluded) > 0 && sh.excluded[ip] {
 		return false
 	}
 	if _, ok := sh.hosts[netip.AddrPortFrom(ip, uint16(port))]; ok {
@@ -186,18 +187,13 @@ func (s *Snapshot) DialContext(ctx context.Context, network, address string) (ne
 	if network != "tcp" && network != "tcp4" {
 		return nil, fmt.Errorf("worldview: unsupported network %q", network)
 	}
-	hostStr, portStr, err := net.SplitHostPort(address)
+	// Single-pass address parse: every grab dials several times, and
+	// the split/parse/atoi chain costs three allocations per dial.
+	ap, err := netip.ParseAddrPort(address)
 	if err != nil {
 		return nil, fmt.Errorf("worldview: %w", err)
 	}
-	port, err := strconv.Atoi(portStr)
-	if err != nil {
-		return nil, fmt.Errorf("worldview: invalid port %q", portStr)
-	}
-	ip, err := netip.ParseAddr(hostStr)
-	if err != nil {
-		return nil, fmt.Errorf("worldview: %w", err)
-	}
+	ip, port := ap.Addr(), int(ap.Port())
 	if s.cfg.Latency > 0 {
 		select {
 		case <-ctx.Done():
@@ -206,7 +202,7 @@ func (s *Snapshot) DialContext(ctx context.Context, network, address string) (ne
 		}
 	}
 	sh, inUniverse := s.shardFor(ip)
-	if sh.excluded[ip] {
+	if len(sh.excluded) > 0 && sh.excluded[ip] {
 		return nil, simnet.ErrRefused{Addr: address}
 	}
 	h, ok := sh.hosts[netip.AddrPortFrom(ip, uint16(port))]

@@ -206,6 +206,59 @@ func TestCampaignConcurrentWavesMatchSequential(t *testing.T) {
 	}
 }
 
+// TestCampaignConcurrentCachedMatchesUncached is the hot-path-cache
+// equivalence gate: a campaign served from the pre-encoded per-server
+// response caches (the production configuration) must produce a
+// byte-identical dataset and identical analyses to the same campaign
+// with every response encoded structurally per request. The world is
+// shared so certificates agree; concurrent waves keep the pooled
+// codec/chunk buffers and the memoized certificate parses exercised
+// under -race (the test name matches the CI race-run pattern
+// 'TestCampaignConcurrent').
+func TestCampaignConcurrentCachedMatchesUncached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign equivalence skipped in -short mode")
+	}
+	cfg := CampaignConfig{
+		Seed:         2020,
+		Waves:        []int{6, 7},
+		TestKeySizes: true,
+		MaxHosts:     60,
+		NoiseProb:    1e-5,
+		GrabWorkers:  8,
+		WaveWorkers:  2,
+	}
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := RunCampaignOnWorld(context.Background(), cfg, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Servers are built lazily per wave state; after the first campaign
+	// every instance this campaign touches exists, so the toggle
+	// reaches them all.
+	world.SetResponseCaches(false)
+	uncached, err := RunCampaignOnWorld(context.Background(), cfg, world)
+	world.SetResponseCaches(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	normalizeWallClock(cached)
+	normalizeWallClock(uncached)
+	if a, b := datasetBytes(t, cached), datasetBytes(t, uncached); !bytes.Equal(a, b) {
+		t.Errorf("datasets differ: %d bytes vs %d bytes", len(a), len(b))
+	}
+	if !reflect.DeepEqual(cached.Analyses, uncached.Analyses) {
+		t.Error("wave analyses differ between cached and uncached runs")
+	}
+	if !reflect.DeepEqual(cached.Long, uncached.Long) {
+		t.Error("longitudinal analysis differs between cached and uncached runs")
+	}
+}
+
 // TestCampaignConcurrentWavesCancellation pins the campaign's
 // cancellation contract under concurrent waves: cancelling mid-scan
 // returns the partial campaign with only in-flight waves marked
