@@ -13,6 +13,12 @@
 // fine. Custom b.ReportMetric values are kept under "metrics", and
 // every benchmark whose name contains "Campaign" is summarized a
 // second time in "campaign_seconds" (wall clock per op).
+//
+// With -budget FILE, fresh allocs/op are compared against the
+// benchmarks recorded in FILE (a previously committed BENCH_<pr>.json):
+// any benchmark present in both whose fresh allocs/op exceed
+// budget×tolerance (+2 absolute slack for near-zero budgets) fails the
+// run with exit status 1 — the CI hot-path allocation regression gate.
 package main
 
 import (
@@ -31,6 +37,12 @@ type entry struct {
 	BPerOp      float64            `json:"b_per_op"`
 	AllocsPerOp float64            `json:"allocs_per_op"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	// hasAllocs records whether an allocs/op unit was actually parsed —
+	// a run without -benchmem leaves AllocsPerOp at a vacuous 0, which
+	// must not satisfy a budget comparison. Fresh-side only (never
+	// serialized).
+	hasAllocs bool
 }
 
 type doc struct {
@@ -52,24 +64,24 @@ func stripProcSuffix(name string) string {
 	return name[:i]
 }
 
-func parseLine(line string) (string, *entry) {
-	if !strings.HasPrefix(line, "Benchmark") {
-		return "", nil
+// parseFields turns the measurement fields (everything after the
+// benchmark name) into an entry, or nil if they don't look like one.
+func parseFields(fields []string) *entry {
+	if len(fields) < 3 {
+		return nil
 	}
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return "", nil
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	iters, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
-		return "", nil
+		return nil
 	}
 	e := &entry{Iterations: iters, Metrics: map[string]float64{}}
-	for i := 2; i+1 < len(fields); i += 2 {
+	sawUnit := false
+	for i := 1; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			continue
 		}
+		sawUnit = true
 		switch fields[i+1] {
 		case "ns/op":
 			e.NsPerOp = v
@@ -77,18 +89,93 @@ func parseLine(line string) (string, *entry) {
 			e.BPerOp = v
 		case "allocs/op":
 			e.AllocsPerOp = v
+			e.hasAllocs = true
 		default:
 			e.Metrics[fields[i+1]] = v
 		}
 	}
+	if !sawUnit {
+		return nil
+	}
 	if len(e.Metrics) == 0 {
 		e.Metrics = nil
 	}
-	return stripProcSuffix(fields[0]), e
+	return e
+}
+
+// parser stitches benchmark results back together when other test
+// output (campaign progress lines) interleaves between the printed
+// benchmark name and its measurement line: `go test` emits the name,
+// then flushes whatever the fixture logs, then the `N  12345 ns/op`
+// line on its own.
+type parser struct {
+	pending string // benchmark name waiting for its measurement line
+}
+
+func (p *parser) parseLine(line string) (string, *entry) {
+	if strings.HasPrefix(line, "Benchmark") {
+		fields := strings.Fields(line)
+		if e := parseFields(fields[1:]); e != nil {
+			p.pending = ""
+			return stripProcSuffix(fields[0]), e
+		}
+		// Name only (result line still to come, possibly after
+		// interleaved output).
+		p.pending = stripProcSuffix(fields[0])
+		return "", nil
+	}
+	if p.pending != "" {
+		if e := parseFields(strings.Fields(line)); e != nil {
+			name := p.pending
+			p.pending = ""
+			return name, e
+		}
+	}
+	return "", nil
+}
+
+// checkBudget compares fresh allocs/op against a committed budget file.
+// Returns the list of regressions (empty = pass).
+func checkBudget(fresh map[string]*entry, budgetPath string, tolerance float64) ([]string, error) {
+	raw, err := os.ReadFile(budgetPath)
+	if err != nil {
+		return nil, err
+	}
+	var budget doc
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", budgetPath, err)
+	}
+	var regressions []string
+	for name, want := range budget.Benchmarks {
+		got, ok := fresh[name]
+		if !ok {
+			// Not a failure — the budget file records more benchmarks than
+			// any one CI step runs (campaign numbers alongside hot paths) —
+			// but a silently skipped budget is a disabled gate, so say so.
+			fmt.Fprintf(os.Stderr, "benchjson: budget entry %q absent from fresh output (gate not exercised)\n", name)
+			continue
+		}
+		if !got.hasAllocs {
+			// Present but unmeasured (run without -benchmem): 0 allocs/op
+			// is vacuous here and must fail, not silently pass.
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: fresh run reports no allocs/op (benchmark not run with -benchmem)", name))
+			continue
+		}
+		limit := want.AllocsPerOp*tolerance + 2
+		if got.AllocsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f allocs/op exceeds budget %.0f (limit %.0f)",
+				name, got.AllocsPerOp, want.AllocsPerOp, limit))
+		}
+	}
+	return regressions, nil
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	budget := flag.String("budget", "", "BENCH_*.json to enforce allocs/op budgets against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 1.25, "multiplicative slack for -budget comparisons")
 	flag.Parse()
 
 	d := doc{
@@ -98,8 +185,9 @@ func main() {
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var p parser
 	for sc.Scan() {
-		name, e := parseLine(sc.Text())
+		name, e := p.parseLine(sc.Text())
 		if e == nil {
 			continue
 		}
@@ -124,10 +212,24 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *budget != "" {
+		regressions, err := checkBudget(d.Benchmarks, *budget, *tolerance)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: budget check: %v\n", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: allocation budget regressions:")
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: allocation budgets within %s (tolerance %.2f×)\n", *budget, *tolerance)
 	}
 }

@@ -8,7 +8,7 @@
 //	measure [-seed 2020] [-waves 0-7] [-dataset out.jsonl] [-anonymize]
 //	        [-testkeys] [-noise 0.002] [-csv]
 //	        [-grab-workers 32] [-wave-workers 1] [-analyze-workers 0]
-//	        [-sequential]
+//	        [-sequential] [-crypto-cache 0]
 package main
 
 import (
@@ -62,6 +62,8 @@ func main() {
 	waveWorkers := flag.Int("wave-workers", 0, "waves scanned concurrently, each against its own immutable world view (0/1 = one at a time)")
 	analyzeWorkers := flag.Int("analyze-workers", 0, "assessment worker pool size (0 = GOMAXPROCS)")
 	sequential := flag.Bool("sequential", false, "disable the cross-wave scan/analysis overlap")
+	cryptoCache := flag.Int("crypto-cache", 0,
+		"RSA memoization engine entry budget (0 = default; negative disables memoized, deterministic handshakes)")
 	flag.Parse()
 
 	waveList, err := parseWaves(*waves)
@@ -78,6 +80,7 @@ func main() {
 		WaveWorkers:    *waveWorkers,
 		AnalyzeWorkers: *analyzeWorkers,
 		Sequential:     *sequential,
+		CryptoCache:    *cryptoCache,
 		Progressf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -85,6 +88,15 @@ func main() {
 	c, err := opcuastudy.RunCampaign(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if st := c.CryptoStats; st != nil {
+		tot := st.Total()
+		fmt.Fprintf(os.Stderr,
+			"crypto cache summary: sign %d/%d, verify %d/%d, decrypt %d/%d (hits/misses); "+
+				"%.1f%% overall hit rate, %d entries, %d evictions\n",
+			st.Sign.Hits, st.Sign.Misses, st.Verify.Hits, st.Verify.Misses,
+			st.Decrypt.Hits, st.Decrypt.Misses, 100*tot.HitRate(), st.Entries, tot.Evictions)
 	}
 
 	for _, tbl := range c.Report() {

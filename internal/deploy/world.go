@@ -13,6 +13,7 @@ import (
 	"repro/internal/uacert"
 	"repro/internal/uamsg"
 	"repro/internal/uapolicy"
+	"repro/internal/uarsa"
 	"repro/internal/uaserver"
 	"repro/internal/worldview"
 )
@@ -50,6 +51,12 @@ type World struct {
 	hosts     []*worldHost
 	discovery []*worldDiscovery
 	wave      int
+
+	// cryptoEngine/cryptoDet are the campaign-installed crypto-reuse
+	// settings, applied to every server built so far and to servers
+	// built lazily afterwards (see SetCrypto).
+	cryptoEngine *uarsa.Engine
+	cryptoDet    bool
 }
 
 type worldHost struct {
@@ -292,8 +299,9 @@ func (wh *worldHost) softwareVersionAt(wave int) string {
 	return v
 }
 
-// serverAt builds (or reuses) the server matching the host's wave state.
-func (wh *worldHost) serverAt(wave int) (*uaserver.Server, error) {
+// serverAt builds (or reuses) the server matching the host's wave
+// state, stamping new servers with the world's crypto-reuse settings.
+func (wh *worldHost) serverAt(wave int, engine *uarsa.Engine, deterministic bool) (*uaserver.Server, error) {
 	cert := wh.certAt(wave)
 	cacheKey := cert.ThumbprintHex() + wh.softwareVersionAt(wave)
 	if srv, ok := wh.server[cacheKey]; ok {
@@ -351,6 +359,7 @@ func (wh *worldHost) serverAt(wave int) (*uaserver.Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("deploy: server for host %d: %w", hs.Index, err)
 	}
+	srv.SetCrypto(engine, deterministic)
 	wh.server[cacheKey] = srv
 	return srv, nil
 }
@@ -394,7 +403,7 @@ func (w *World) ApplyWave(wave int) error {
 	for _, wh := range w.hosts {
 		ip := netip.Addr(wh.spec.IP)
 		if wh.spec.PresentAt(wave) {
-			srv, err := wh.serverAt(wave)
+			srv, err := wh.serverAt(wave, w.cryptoEngine, w.cryptoDet)
 			if err != nil {
 				return err
 			}
@@ -447,7 +456,7 @@ func (w *World) SnapshotWave(wave int) (*worldview.Snapshot, error) {
 		if !wh.spec.PresentAt(wave) {
 			continue
 		}
-		srv, err := wh.serverAt(wave)
+		srv, err := wh.serverAt(wave, w.cryptoEngine, w.cryptoDet)
 		if err != nil {
 			return nil, err
 		}
@@ -479,6 +488,30 @@ func (w *World) SetResponseCaches(on bool) {
 	}
 	for _, wd := range w.discovery {
 		wd.server.EnableResponseCache(on)
+	}
+}
+
+// SetCrypto installs the campaign's memoized asymmetric-crypto engine
+// and deterministic-handshake mode on every server materialized so far;
+// servers built lazily afterwards inherit the same settings. Ownership
+// is campaign-scoped (opcuastudy.RunCampaignOnWorld installs its engine
+// before materializing wave views): the engine memoizes by key
+// fingerprint and input digest, so entries are self-contained and a
+// later campaign swapping engines — or two campaigns sharing a world,
+// where the last installation wins — is always semantically safe (see
+// DESIGN.md §4).
+func (w *World) SetCrypto(engine *uarsa.Engine, deterministic bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cryptoEngine = engine
+	w.cryptoDet = deterministic
+	for _, wh := range w.hosts {
+		for _, srv := range wh.server {
+			srv.SetCrypto(engine, deterministic)
+		}
+	}
+	for _, wd := range w.discovery {
+		wd.server.SetCrypto(engine, deterministic)
 	}
 }
 

@@ -2,6 +2,7 @@ package deploy
 
 import (
 	"context"
+	"crypto/rsa"
 	"strconv"
 	"sync"
 	"testing"
@@ -24,6 +25,39 @@ func materializeSmall(t *testing.T, maxHosts int) *World {
 		t.Fatal(err)
 	}
 	return w
+}
+
+// TestWorldKeysPrecomputed asserts the CRT fast path is armed on every
+// private key the world serves RSA operations with: all host keys
+// (including shared reuse-cluster keys) and the discovery identity.
+// Without Precomputed populated every OPN sign/decrypt falls back to
+// the ~4× slower non-CRT exponentiation, which would silently quadruple
+// the campaign's RSA floor.
+func TestWorldKeysPrecomputed(t *testing.T) {
+	w := materializeSmall(t, 60)
+	precomputed := func(key *rsa.PrivateKey) bool {
+		return key != nil && key.Precomputed.Dp != nil && key.Precomputed.Dq != nil &&
+			key.Precomputed.Qinv != nil
+	}
+	for _, wh := range w.hosts {
+		if !precomputed(wh.key) {
+			t.Errorf("host %d key lacks CRT precomputation", wh.spec.Index)
+		}
+	}
+	for i, wd := range w.discovery {
+		if !precomputed(wd.server.Config().Key) {
+			t.Errorf("discovery server %d key lacks CRT precomputation", i)
+		}
+	}
+	// The pool itself must hand out precomputed keys for every size it
+	// ever generated.
+	for _, bits := range []int{512} {
+		for i := 0; i < w.Keys.Size(bits); i++ {
+			if !precomputed(w.Keys.Key(bits, i)) {
+				t.Errorf("pool key (%d bits, %d) lacks CRT precomputation", bits, i)
+			}
+		}
+	}
 }
 
 func TestMaterializeAndApplyWave(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/uaclient"
 	"repro/internal/uamsg"
 	"repro/internal/uapolicy"
+	"repro/internal/uarsa"
 	"repro/internal/uastatus"
 	"repro/internal/uatypes"
 )
@@ -130,6 +131,34 @@ type Scanner struct {
 	// ApplicationURI identifies the scanner (the paper advertises contact
 	// information here).
 	ApplicationURI string
+	// Crypto carries the campaign's memoized RSA engine and the
+	// deterministic-handshake seed (nil scans with fresh randomness and
+	// no memoization — the legacy behavior).
+	Crypto *uarsa.Suite
+}
+
+// channelSecurity assembles the secure-channel parameters for one
+// probe. The deterministic exchange derivation is keyed by (campaign
+// seed, purpose, remote certificate, policy, mode) — deliberately not
+// by wave or address, so an unchanged host replays the identical OPN
+// exchange in every wave and the paper's 385-host certificate-reuse
+// cluster collapses to a single exchange per wave.
+func (s *Scanner) channelSecurity(purpose string, policy *uapolicy.Policy,
+	mode uamsg.MessageSecurityMode, remoteDER []byte) uaclient.ChannelSecurity {
+	sec := uaclient.ChannelSecurity{Policy: policy, Mode: mode}
+	if !policy.Insecure {
+		sec.LocalKey = s.Key
+		sec.LocalCertDER = s.CertDER
+		sec.RemoteCertDER = remoteDER
+	}
+	if s.Crypto != nil {
+		sec.Engine = s.Crypto.Engine
+		if !policy.Insecure {
+			sec.Derive = s.Crypto.Exchange([]byte(purpose), remoteDER,
+				[]byte(policy.URI), []byte{byte(mode)})
+		}
+	}
+	return sec
 }
 
 func (s *Scanner) opts() uaclient.Options {
@@ -173,16 +202,32 @@ func (s *Scanner) Grab(ctx context.Context, target Target) *Result {
 	s.followDiscovery(ctx, url, res)
 
 	// Step 3: secure-channel attempt with our self-signed certificate
-	// whenever Sign or SignAndEncrypt is offered.
+	// whenever Sign or SignAndEncrypt is offered. The channel is kept
+	// open in case step 4 can ride on it.
 	policy, mode := strongestSecure(res.Endpoints)
+	var secure *uaclient.Client
 	if policy != nil {
-		s.attemptSecureChannel(ctx, url, res, policy, mode)
+		secure = s.attemptSecureChannel(ctx, url, res, policy, mode)
 	}
 
-	// Step 4: anonymous session and address-space traversal.
+	// Step 4: anonymous session and address-space traversal. When the
+	// session would use exactly the (policy, mode) the secure-channel
+	// probe just established, reuse that open channel instead of dialing
+	// again — one RSA handshake instead of two against servers that
+	// enforce a single secure configuration.
 	res.Session.Offered = anonymousOffered(res.Endpoints)
 	if res.Session.Offered {
-		s.attemptAnonymous(ctx, url, res)
+		sessPolicy, sessMode := channelForSession(res.Endpoints)
+		if secure != nil && sessPolicy == policy && sessMode == mode {
+			s.runAnonymousSession(ctx, secure, res)
+		} else {
+			s.attemptAnonymous(ctx, url, res, sessPolicy, sessMode)
+		}
+	}
+	if secure != nil {
+		r, w := secure.BytesTransferred()
+		res.BytesTransferred += r + w
+		_ = secure.Close()
 	}
 	return res
 }
@@ -279,8 +324,12 @@ func anonymousOffered(eps []EndpointInfo) bool {
 	return false
 }
 
+// attemptSecureChannel probes the strongest advertised secure (policy,
+// mode). On success it returns the still-open client so the caller can
+// reuse the channel for the session probe; the caller owns closing it
+// and accounting its bytes.
 func (s *Scanner) attemptSecureChannel(ctx context.Context, url string, res *Result,
-	policy *uapolicy.Policy, mode uamsg.MessageSecurityMode) {
+	policy *uapolicy.Policy, mode uamsg.MessageSecurityMode) *uaclient.Client {
 	res.SecureChannel = SecureChannelResult{
 		Attempted: true,
 		PolicyURI: policy.URI,
@@ -289,27 +338,22 @@ func (s *Scanner) attemptSecureChannel(ctx context.Context, url string, res *Res
 	c, err := uaclient.Dial(ctx, url, s.opts())
 	if err != nil {
 		res.SecureChannel.Error = err.Error()
-		return
+		return nil
 	}
-	defer c.Close()
-	err = c.OpenChannel(uaclient.ChannelSecurity{
-		Policy:        policy,
-		Mode:          mode,
-		LocalKey:      s.Key,
-		LocalCertDER:  s.CertDER,
-		RemoteCertDER: res.ServerCertDER,
-	})
+	err = c.OpenChannel(s.channelSecurity("secure-probe", policy, mode, res.ServerCertDER))
 	if err != nil {
 		res.SecureChannel.Error = err.Error()
 		var ce uamsg.ConnError
 		if errors.As(err, &ce) && ce.Code == uastatus.BadSecurityChecksFailed {
 			res.SecureChannel.CertRejected = true
 		}
-		return
+		r, w := c.BytesTransferred()
+		res.BytesTransferred += r + w
+		_ = c.Close()
+		return nil
 	}
 	res.SecureChannel.OK = true
-	r, w := c.BytesTransferred()
-	res.BytesTransferred += r + w
+	return c
 }
 
 // channelForSession picks the channel security for the anonymous session:
@@ -336,25 +380,40 @@ func channelForSession(eps []EndpointInfo) (*uapolicy.Policy, uamsg.MessageSecur
 	return weakest, weakestMode
 }
 
-func (s *Scanner) attemptAnonymous(ctx context.Context, url string, res *Result) {
+// attemptAnonymous dials a fresh connection for the session probe (used
+// when the secure-channel probe's channel parameters don't match).
+//
+// Byte accounting is uniform since PR 4: every dialed connection's
+// traffic is counted whether the probe on it succeeded or not (the old
+// code dropped failed-probe traffic on some paths but not others).
+// Result.Bytes feeds no analysis — the equivalence gates normalize it —
+// so only consistency matters.
+func (s *Scanner) attemptAnonymous(ctx context.Context, url string, res *Result,
+	policy *uapolicy.Policy, mode uamsg.MessageSecurityMode) {
 	res.Session.Attempted = true
 	c, err := uaclient.Dial(ctx, url, s.opts())
 	if err != nil {
 		res.Session.Error = err.Error()
 		return
 	}
-	defer c.Close()
-	policy, mode := channelForSession(res.Endpoints)
-	sec := uaclient.ChannelSecurity{Policy: policy, Mode: mode}
-	if !policy.Insecure {
-		sec.LocalKey = s.Key
-		sec.LocalCertDER = s.CertDER
-		sec.RemoteCertDER = res.ServerCertDER
-	}
-	if err := c.OpenChannel(sec); err != nil {
+	defer func() {
+		r, w := c.BytesTransferred()
+		res.BytesTransferred += r + w
+		_ = c.Close()
+	}()
+	if err := c.OpenChannel(s.channelSecurity("session-probe", policy, mode, res.ServerCertDER)); err != nil {
 		res.Session.Error = err.Error()
 		return
 	}
+	s.runAnonymousSession(ctx, c, res)
+}
+
+// runAnonymousSession performs the anonymous session and traversal on
+// an already-open channel. It does not close the client or account its
+// bytes — the caller owns the connection (it may be the reused
+// secure-channel probe connection).
+func (s *Scanner) runAnonymousSession(ctx context.Context, c *uaclient.Client, res *Result) {
+	res.Session.Attempted = true
 	if err := c.CreateSession(uaclient.AnonymousIdentity()); err != nil {
 		res.Session.Error = err.Error()
 		return
@@ -398,8 +457,6 @@ func (s *Scanner) attemptAnonymous(ctx context.Context, url string, res *Result)
 		}
 	}
 	_ = c.CloseSession()
-	r, w := c.BytesTransferred()
-	res.BytesTransferred += r + w
 }
 
 func sampleValue(v uatypes.Variant) string {

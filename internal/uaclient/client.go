@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/uamsg"
 	"repro/internal/uapolicy"
+	"repro/internal/uarsa"
 	"repro/internal/uasc"
 	"repro/internal/uastatus"
 	"repro/internal/uatypes"
@@ -161,6 +162,12 @@ type ChannelSecurity struct {
 	LocalKey      *rsa.PrivateKey
 	LocalCertDER  []byte
 	RemoteCertDER []byte
+
+	// Engine memoizes the channel's RSA operations; Derive makes the
+	// handshake deterministic so memoized results hit across waves
+	// (both optional; see uasc.ChannelSecurity and package uarsa).
+	Engine *uarsa.Engine
+	Derive *uarsa.Derivation
 }
 
 // OpenChannel opens the secure channel. Must be called exactly once.
@@ -175,6 +182,8 @@ func (c *Client) OpenChannel(sec ChannelSecurity) error {
 		LocalKey:      sec.LocalKey,
 		LocalCertDER:  sec.LocalCertDER,
 		RemoteCertDER: sec.RemoteCertDER,
+		Engine:        sec.Engine,
+		Derive:        sec.Derive,
 	}, 3600000)
 	if err != nil {
 		return err
@@ -323,7 +332,12 @@ func (c *Client) CreateSession(identity Identity) error {
 	sec := c.ch.Security()
 	if !sec.Policy.Insecure && sec.LocalKey != nil {
 		data := append(append([]byte{}, resp.ServerCertificate...), resp.ServerNonce...)
-		if sig, err := sec.Policy.AsymSign(sec.LocalKey, data); err == nil {
+		// Routed through the channel's crypto context: on deterministic
+		// channels the server nonce replays across waves, so this RSA
+		// signature resolves from the campaign cache after the first
+		// session against each (certificate, policy, mode) state.
+		cc := c.ch.CryptoContext("activate-sign")
+		if sig, err := sec.Policy.AsymSignCtx(cc, sec.LocalKey, data); err == nil {
 			act.ClientSignature = uamsg.SignatureData{Algorithm: sec.Policy.URI, Signature: sig}
 		}
 	}

@@ -18,9 +18,12 @@ import (
 	"errors"
 	"fmt"
 	"hash"
+	"io"
+	"math/big"
 	"sync"
 
 	"repro/internal/uacert"
+	"repro/internal/uarsa"
 )
 
 // Security policy URIs (OPC 10000-7).
@@ -195,16 +198,47 @@ func (p *Policy) SecurityLevel() byte { return byte(p.Rank) }
 func (p *Policy) NonceLength() int { return p.nonceLength }
 
 // NewNonce returns a fresh random channel nonce.
-func (p *Policy) NewNonce() []byte {
+func (p *Policy) NewNonce() []byte { return p.NonceFrom(nil) }
+
+// NonceFrom draws a channel nonce from r (nil means crypto/rand).
+// Deterministic handshakes pass a labeled uarsa.Stream so an unchanged
+// host's exchange replays bit-identically across waves (DESIGN.md §4).
+func (p *Policy) NonceFrom(r io.Reader) []byte {
 	if p.nonceLength == 0 {
 		return nil
 	}
+	if r == nil {
+		r = rand.Reader
+	}
 	b := make([]byte, p.nonceLength)
-	if _, err := rand.Read(b); err != nil {
-		panic("uapolicy: crypto/rand failed: " + err.Error())
+	if _, err := io.ReadFull(r, b); err != nil {
+		panic("uapolicy: nonce source failed: " + err.Error())
 	}
 	return b
 }
+
+// CryptoContext threads the optional memoization engine and the
+// (possibly deterministic) random source through the asymmetric
+// operations. The zero value computes directly with crypto/rand — the
+// legacy behavior. When Engine is set, AsymSign/AsymVerify/AsymDecrypt
+// results are memoized by (operation, scheme, key fingerprint, input
+// digest); see package uarsa for why that is semantically transparent
+// and why encryption instead needs the deterministic Rand stream.
+type CryptoContext struct {
+	Engine *uarsa.Engine
+	Rand   io.Reader
+}
+
+// rand returns the context's random source, defaulting to crypto/rand.
+func (cc CryptoContext) rand() io.Reader {
+	if cc.Rand != nil {
+		return cc.Rand
+	}
+	return rand.Reader
+}
+
+// verifiedOK is the cached sentinel for a successful verification.
+var verifiedOK = []byte{}
 
 // errors
 var (
@@ -249,16 +283,46 @@ func (p *Policy) AsymCipherBlockSize(key *rsa.PublicKey) int { return key.Size()
 
 // AsymSign signs data with the policy's asymmetric signature scheme.
 func (p *Policy) AsymSign(key *rsa.PrivateKey, data []byte) ([]byte, error) {
+	return p.AsymSignCtx(CryptoContext{}, key, data)
+}
+
+// AsymSignCtx signs data, memoizing by (key fingerprint, input digest)
+// when the context carries an engine. PKCS#1 v1.5 signatures are
+// deterministic, so the cached bytes equal a recomputation; PSS
+// signatures replayed from cache are equally valid, and bit-identical
+// to a recomputation whenever the context's Rand is a deterministic
+// stream. Cached signatures are shared: callers must not modify them.
+func (p *Policy) AsymSignCtx(cc CryptoContext, key *rsa.PrivateKey, data []byte) ([]byte, error) {
+	if p.asymSig == sigNone {
+		return nil, ErrNoCrypto
+	}
+	var fp uarsa.Fingerprint
+	var dg [32]byte
+	if cc.Engine != nil {
+		fp = cc.Engine.Fingerprint(&key.PublicKey)
+		dg = uarsa.Digest(data)
+		if sig, ok := cc.Engine.Get(uarsa.OpSign, uint8(p.asymSig), fp, dg); ok {
+			return sig, nil
+		}
+	}
+	sig, err := p.asymSign(cc.rand(), key, data)
+	if err == nil && cc.Engine != nil {
+		cc.Engine.Put(uarsa.OpSign, uint8(p.asymSig), fp, dg, sig)
+	}
+	return sig, err
+}
+
+func (p *Policy) asymSign(r io.Reader, key *rsa.PrivateKey, data []byte) ([]byte, error) {
 	switch p.asymSig {
 	case sigPKCS1v15SHA1:
 		d := sha1.Sum(data)
-		return rsa.SignPKCS1v15(rand.Reader, key, crypto.SHA1, d[:])
+		return rsa.SignPKCS1v15(r, key, crypto.SHA1, d[:])
 	case sigPKCS1v15SHA256:
 		d := sha256.Sum256(data)
-		return rsa.SignPKCS1v15(rand.Reader, key, crypto.SHA256, d[:])
+		return rsa.SignPKCS1v15(r, key, crypto.SHA256, d[:])
 	case sigPSSSHA256:
 		d := sha256.Sum256(data)
-		return rsa.SignPSS(rand.Reader, key, crypto.SHA256, d[:],
+		return rsa.SignPSS(r, key, crypto.SHA256, d[:],
 			&rsa.PSSOptions{SaltLength: rsa.PSSSaltLengthEqualsHash})
 	default:
 		return nil, ErrNoCrypto
@@ -267,6 +331,34 @@ func (p *Policy) AsymSign(key *rsa.PrivateKey, data []byte) ([]byte, error) {
 
 // AsymVerify verifies an asymmetric signature.
 func (p *Policy) AsymVerify(key *rsa.PublicKey, data, sig []byte) error {
+	return p.AsymVerifyCtx(CryptoContext{}, key, data, sig)
+}
+
+// AsymVerifyCtx verifies a signature; verification is a pure predicate
+// of (key, data, sig), so successes are memoized (failures never are).
+func (p *Policy) AsymVerifyCtx(cc CryptoContext, key *rsa.PublicKey, data, sig []byte) error {
+	if p.asymSig == sigNone {
+		return ErrNoCrypto
+	}
+	var fp uarsa.Fingerprint
+	var dg [32]byte
+	if cc.Engine != nil {
+		fp = cc.Engine.Fingerprint(key)
+		dg = uarsa.Digest(data, sig)
+		if _, ok := cc.Engine.Get(uarsa.OpVerify, uint8(p.asymSig), fp, dg); ok {
+			return nil
+		}
+	}
+	if err := p.asymVerify(key, data, sig); err != nil {
+		return err
+	}
+	if cc.Engine != nil {
+		cc.Engine.Put(uarsa.OpVerify, uint8(p.asymSig), fp, dg, verifiedOK)
+	}
+	return nil
+}
+
+func (p *Policy) asymVerify(key *rsa.PublicKey, data, sig []byte) error {
 	switch p.asymSig {
 	case sigPKCS1v15SHA1:
 		d := sha1.Sum(data)
@@ -294,6 +386,15 @@ func (p *Policy) AsymVerify(key *rsa.PublicKey, data, sig []byte) error {
 // len(data) must be a multiple of AsymPlainBlockSize (the secure-channel
 // layer pads before encrypting).
 func (p *Policy) AsymEncrypt(key *rsa.PublicKey, data []byte) ([]byte, error) {
+	return p.AsymEncryptCtx(CryptoContext{}, key, data)
+}
+
+// AsymEncryptCtx encrypts data, drawing padding from the context's Rand.
+// Encryption is never memoized — fresh padding is what makes RSA
+// encryption non-deterministic — but with a deterministic Rand stream
+// the ciphertext for equal inputs is bit-identical, which is what lets
+// the peer's memoized decrypt hit its cache.
+func (p *Policy) AsymEncryptCtx(cc CryptoContext, key *rsa.PublicKey, data []byte) ([]byte, error) {
 	plainBlock, err := p.AsymPlainBlockSize(key)
 	if err != nil {
 		return nil, err
@@ -302,17 +403,29 @@ func (p *Policy) AsymEncrypt(key *rsa.PublicKey, data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("uapolicy: plaintext length %d not a multiple of block size %d",
 			len(data), plainBlock)
 	}
+	r := cc.rand()
 	out := make([]byte, 0, (len(data)/plainBlock)*key.Size())
 	for off := 0; off < len(data); off += plainBlock {
 		var ct []byte
 		block := data[off : off+plainBlock]
 		switch p.asymEnc {
 		case encPKCS1v15:
-			ct, err = rsa.EncryptPKCS1v15(rand.Reader, key, block)
+			if cc.Rand != nil {
+				// The stdlib deliberately reads a byte from the random
+				// source with 50% probability (randutil.MaybeReadByte), so
+				// its padding is not reproducible even from a fixed
+				// stream. Deterministic handshakes need bit-identical
+				// ciphertext — it is what lets the peer's memoized decrypt
+				// hit — so the v1.5 padding is applied here, consuming the
+				// stream exactly.
+				ct, err = encryptPKCS1v15Det(cc.Rand, key, block)
+			} else {
+				ct, err = rsa.EncryptPKCS1v15(r, key, block)
+			}
 		case encOAEPSHA1:
-			ct, err = rsa.EncryptOAEP(sha1.New(), rand.Reader, key, block, nil)
+			ct, err = rsa.EncryptOAEP(sha1.New(), r, key, block, nil)
 		case encOAEPSHA256:
-			ct, err = rsa.EncryptOAEP(sha256.New(), rand.Reader, key, block, nil)
+			ct, err = rsa.EncryptOAEP(sha256.New(), r, key, block, nil)
 		default:
 			return nil, ErrNoCrypto
 		}
@@ -324,12 +437,65 @@ func (p *Policy) AsymEncrypt(key *rsa.PublicKey, data []byte) ([]byte, error) {
 	return out, nil
 }
 
+// encryptPKCS1v15Det is RSAES-PKCS1-v1_5 encryption (RFC 8017 §7.2.1)
+// with the nonzero padding bytes drawn exactly from r: EM = 00 || 02 ||
+// PS || 00 || M, then the public-key operation. It produces the same
+// ciphertext class as rsa.EncryptPKCS1v15 — rsa.DecryptPKCS1v15 inverts
+// it — but consumes the stream reproducibly.
+func encryptPKCS1v15Det(r io.Reader, key *rsa.PublicKey, msg []byte) ([]byte, error) {
+	k := key.Size()
+	if len(msg) > k-11 {
+		return nil, fmt.Errorf("uapolicy: message too long for PKCS#1 v1.5")
+	}
+	em := make([]byte, k)
+	em[1] = 2
+	ps := em[2 : k-len(msg)-1]
+	if _, err := io.ReadFull(r, ps); err != nil {
+		return nil, err
+	}
+	for i := range ps {
+		for ps[i] == 0 {
+			var b [1]byte
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return nil, err
+			}
+			ps[i] = b[0]
+		}
+	}
+	copy(em[k-len(msg):], msg)
+	m := new(big.Int).SetBytes(em)
+	m.Exp(m, big.NewInt(int64(key.E)), key.N)
+	m.FillBytes(em)
+	return em, nil
+}
+
 // AsymDecrypt decrypts block-wise asymmetric ciphertext.
 func (p *Policy) AsymDecrypt(key *rsa.PrivateKey, data []byte) ([]byte, error) {
+	return p.AsymDecryptCtx(CryptoContext{}, key, data)
+}
+
+// AsymDecryptCtx decrypts ciphertext, memoizing the plaintext by
+// (key fingerprint, ciphertext digest) when the context carries an
+// engine — decryption is a pure function of the ciphertext. The cached
+// plaintext is shared across callers and must be treated as read-only
+// (the secure-channel layer only slices and copies out of it).
+func (p *Policy) AsymDecryptCtx(cc CryptoContext, key *rsa.PrivateKey, data []byte) ([]byte, error) {
+	if p.asymEnc == encNone {
+		return nil, ErrNoCrypto
+	}
 	k := key.Size()
 	if len(data)%k != 0 {
 		return nil, fmt.Errorf("uapolicy: ciphertext length %d not a multiple of key size %d",
 			len(data), k)
+	}
+	var fp uarsa.Fingerprint
+	var dg [32]byte
+	if cc.Engine != nil {
+		fp = cc.Engine.Fingerprint(&key.PublicKey)
+		dg = uarsa.Digest(data)
+		if pt, ok := cc.Engine.Get(uarsa.OpDecrypt, uint8(p.asymEnc), fp, dg); ok {
+			return pt, nil
+		}
 	}
 	var out []byte
 	for off := 0; off < len(data); off += k {
@@ -350,6 +516,9 @@ func (p *Policy) AsymDecrypt(key *rsa.PrivateKey, data []byte) ([]byte, error) {
 			return nil, fmt.Errorf("uapolicy: asymmetric decrypt: %w", err)
 		}
 		out = append(out, pt...)
+	}
+	if cc.Engine != nil {
+		cc.Engine.Put(uarsa.OpDecrypt, uint8(p.asymEnc), fp, dg, out)
 	}
 	return out, nil
 }

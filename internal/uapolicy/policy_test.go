@@ -10,6 +10,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/uacert"
+	"repro/internal/uarsa"
 )
 
 var (
@@ -161,6 +162,75 @@ func TestAsymEncryptDecryptAllPolicies(t *testing.T) {
 		}
 		if _, err := p.AsymDecrypt(key, ct[:len(ct)-1]); err == nil {
 			t.Errorf("%s: unaligned ciphertext accepted", p.Name)
+		}
+	}
+}
+
+// TestAsymCtxMemoizationTransparent pins the crypto-cache soundness
+// argument: with an engine in the context, every memoized operation
+// returns results a direct computation accepts, cache hits reproduce
+// the first computation bit-for-bit, and a deterministic Rand stream
+// makes encryption (never memoized) reproduce bit-identically too.
+func TestAsymCtxMemoizationTransparent(t *testing.T) {
+	data := []byte("open secure channel payload")
+	for _, p := range secured() {
+		key := keyFor(t, p)
+		engine := uarsa.NewEngine(0)
+		deriv := uarsa.NewDerivation([]byte("ctx-test"), []byte(p.URI))
+		signCC := func() CryptoContext {
+			return CryptoContext{Engine: engine, Rand: deriv.Stream("sign")}
+		}
+		sig1, err := p.AsymSignCtx(signCC(), key, data)
+		if err != nil {
+			t.Fatalf("%s: sign: %v", p.Name, err)
+		}
+		sig2, err := p.AsymSignCtx(signCC(), key, data)
+		if err != nil || !bytes.Equal(sig1, sig2) {
+			t.Errorf("%s: cached signature differs (%v)", p.Name, err)
+		}
+		if err := p.AsymVerify(&key.PublicKey, data, sig1); err != nil {
+			t.Errorf("%s: cached signature does not verify: %v", p.Name, err)
+		}
+		cc := CryptoContext{Engine: engine}
+		if err := p.AsymVerifyCtx(cc, &key.PublicKey, data, sig1); err != nil {
+			t.Errorf("%s: verify miss: %v", p.Name, err)
+		}
+		if err := p.AsymVerifyCtx(cc, &key.PublicKey, data, sig1); err != nil {
+			t.Errorf("%s: verify hit: %v", p.Name, err)
+		}
+		bad := append([]byte(nil), sig1...)
+		bad[0] ^= 0xFF
+		if err := p.AsymVerifyCtx(cc, &key.PublicKey, data, bad); err == nil {
+			t.Errorf("%s: corrupted signature verified through the engine", p.Name)
+		}
+
+		blockSize, err := p.AsymPlainBlockSize(&key.PublicKey)
+		if err != nil {
+			t.Fatalf("%s: block size: %v", p.Name, err)
+		}
+		plain := bytes.Repeat([]byte{0x5A}, blockSize*2)
+		encCC := func() CryptoContext {
+			return CryptoContext{Engine: engine, Rand: deriv.Stream("enc")}
+		}
+		ct1, err := p.AsymEncryptCtx(encCC(), &key.PublicKey, plain)
+		if err != nil {
+			t.Fatalf("%s: encrypt: %v", p.Name, err)
+		}
+		ct2, err := p.AsymEncryptCtx(encCC(), &key.PublicKey, plain)
+		if err != nil || !bytes.Equal(ct1, ct2) {
+			t.Errorf("%s: deterministic encryption not reproducible (%v)", p.Name, err)
+		}
+		pt1, err := p.AsymDecryptCtx(cc, key, ct1) // miss
+		if err != nil || !bytes.Equal(pt1, plain) {
+			t.Errorf("%s: decrypt miss round trip failed (%v)", p.Name, err)
+		}
+		pt2, err := p.AsymDecryptCtx(cc, key, ct1) // hit
+		if err != nil || !bytes.Equal(pt2, plain) {
+			t.Errorf("%s: decrypt hit round trip failed (%v)", p.Name, err)
+		}
+		st := engine.Stats()
+		if st.Sign.Hits == 0 || st.Verify.Hits == 0 || st.Decrypt.Hits == 0 {
+			t.Errorf("%s: expected hits on all op kinds, got %+v", p.Name, st)
 		}
 	}
 }

@@ -1,0 +1,148 @@
+package uasc
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/uamsg"
+	"repro/internal/uapolicy"
+	"repro/internal/uarsa"
+)
+
+// recordingConn captures everything written to the connection.
+type recordingConn struct {
+	net.Conn
+	mu  sync.Mutex
+	out bytes.Buffer
+}
+
+func (c *recordingConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.out.Write(p)
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+func (c *recordingConn) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.out.Bytes()...)
+}
+
+// openOnce runs one complete deterministic handshake (Hello/Ack + OPN
+// exchange) and returns the client→server and server→client transcripts.
+func openOnce(t *testing.T, policy *uapolicy.Policy, mode uamsg.MessageSecurityMode,
+	engine *uarsa.Engine, derive *uarsa.Derivation) (cliOut, srvOut []byte) {
+	t.Helper()
+	srv, cli, _ := identities(t)
+	cConn, sConn := net.Pipe()
+	deadline := time.Now().Add(10 * time.Second)
+	_ = cConn.SetDeadline(deadline)
+	_ = sConn.SetDeadline(deadline)
+	cRec := &recordingConn{Conn: cConn}
+	sRec := &recordingConn{Conn: sConn}
+
+	cfg := serverCfg(t, srv, policy)
+	cfg.Engine = engine
+	cfg.Deterministic = true
+	done := make(chan error, 1)
+	go func() {
+		tr, err := ServerHello(sRec, Limits{})
+		if err != nil {
+			done <- err
+			return
+		}
+		_, err = Accept(tr, cfg)
+		done <- err
+	}()
+
+	tr, err := ClientHello(cRec, "opc.tcp://det:4840", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Open(tr, ChannelSecurity{
+		Policy:        policy,
+		Mode:          mode,
+		LocalKey:      cli.key,
+		LocalCertDER:  cli.cert.Raw,
+		RemoteCertDER: srv.cert.Raw,
+		Engine:        engine,
+		Derive:        derive,
+	}, 60000)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	if ch.ChannelID == 0 || ch.TokenID == 0 {
+		t.Fatal("channel/token id not assigned")
+	}
+	// Snapshot the transcripts before teardown: Close would append a
+	// symmetric CLO chunk whose timestamp is wall clock.
+	cliOut, srvOut = cRec.bytes(), sRec.bytes()
+	_ = cConn.Close()
+	_ = sConn.Close()
+	return cliOut, srvOut
+}
+
+// TestDeterministicHandshakeByteIdentical pins the crypto cache's hit
+// condition: with the same exchange derivation — the scanner keys it by
+// (campaign seed, purpose, server certificate, policy, mode), not by
+// wave — repeated Opens produce bit-identical wire transcripts in both
+// directions, with and without a warm memoization engine.
+func TestDeterministicHandshakeByteIdentical(t *testing.T) {
+	for _, combo := range []struct {
+		policy *uapolicy.Policy
+		mode   uamsg.MessageSecurityMode
+	}{
+		// Covers both PKCS#1 v1.5 and OAEP key transport (the padding
+		// sources that must draw deterministically).
+		{uapolicy.Basic128Rsa15, uamsg.SecurityModeSignAndEncrypt},
+		{uapolicy.Basic256Sha256, uamsg.SecurityModeSignAndEncrypt},
+		{uapolicy.Basic256Sha256, uamsg.SecurityModeSign},
+	} {
+		t.Run(combo.policy.Name+"/"+combo.mode.String(), func(t *testing.T) {
+			derive := func() *uarsa.Derivation {
+				return uarsa.NewDerivation([]byte("opn"), []byte("host-cert"),
+					[]byte(combo.policy.URI), []byte{byte(combo.mode)})
+			}
+			// Run 1: cold — no engine at all.
+			cli1, srv1 := openOnce(t, combo.policy, combo.mode, nil, derive())
+			// Runs 2 and 3: one shared engine; run 3 replays run 2's
+			// exchange entirely from cache.
+			engine := uarsa.NewEngine(0)
+			cli2, srv2 := openOnce(t, combo.policy, combo.mode, engine, derive())
+			cli3, srv3 := openOnce(t, combo.policy, combo.mode, engine, derive())
+
+			if !bytes.Equal(cli1, cli2) || !bytes.Equal(cli2, cli3) {
+				t.Error("client transcripts differ across repeated deterministic Opens")
+			}
+			if !bytes.Equal(srv1, srv2) || !bytes.Equal(srv2, srv3) {
+				t.Error("server transcripts differ across repeated deterministic Opens")
+			}
+			st := engine.Stats()
+			if st.Sign.Hits == 0 || st.Decrypt.Hits == 0 || st.Verify.Hits == 0 {
+				t.Errorf("replayed handshake did not hit the cache: %+v", st)
+			}
+		})
+	}
+}
+
+// TestDeterministicHandshakeDistinctPerExchange checks the other
+// direction: different exchange parameters (another host certificate)
+// must produce different nonces and ciphertexts even under the same
+// campaign seed.
+func TestDeterministicHandshakeDistinctPerExchange(t *testing.T) {
+	policy, mode := uapolicy.Basic256Sha256, uamsg.SecurityModeSignAndEncrypt
+	a, _ := openOnce(t, policy, mode, nil,
+		uarsa.NewDerivation([]byte("opn"), []byte("host-a"), []byte(policy.URI), []byte{byte(mode)}))
+	b, _ := openOnce(t, policy, mode, nil,
+		uarsa.NewDerivation([]byte("opn"), []byte("host-b"), []byte(policy.URI), []byte{byte(mode)}))
+	if bytes.Equal(a, b) {
+		t.Error("distinct exchange derivations replayed identical transcripts")
+	}
+}

@@ -6,12 +6,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/uacert"
 	"repro/internal/uamsg"
 	"repro/internal/uapolicy"
+	"repro/internal/uarsa"
 	"repro/internal/uastatus"
 	"repro/internal/uatypes"
 )
@@ -27,6 +29,31 @@ type ChannelSecurity struct {
 	// RemoteCertDER is the peer certificate; required on the client when
 	// the policy is not None, learned from the OPN on the server.
 	RemoteCertDER []byte
+
+	// Engine, when non-nil, memoizes the channel's RSA operations by key
+	// fingerprint and input digest (campaign-scoped; see package uarsa).
+	Engine *uarsa.Engine
+	// Derive, when non-nil, makes the handshake deterministic: the
+	// channel nonce, padding bytes and signature salts are drawn from
+	// labeled substreams of this derivation instead of crypto/rand, and
+	// OPN timestamps are pinned to uarsa.Epoch — equal channel
+	// parameters then replay bit-identical OPN exchanges, which is what
+	// makes the engine hit across waves (DESIGN.md §4). On the server
+	// side Accept populates it from a digest of the client's OPN request.
+	Derive *uarsa.Derivation
+}
+
+// CryptoContext assembles the uapolicy context for one labeled
+// asymmetric operation on this channel: the engine plus, when the
+// handshake is deterministic, the operation's own substream. Every call
+// site uses a distinct label so a cache hit (which skips its random
+// draws) can never shift the bytes another site sees.
+func (cs *ChannelSecurity) CryptoContext(label string) uapolicy.CryptoContext {
+	cc := uapolicy.CryptoContext{Engine: cs.Engine}
+	if cs.Derive != nil {
+		cc.Rand = cs.Derive.Stream(label)
+	}
+	return cc
 }
 
 // Channel is an established secure channel over a Transport.
@@ -41,6 +68,7 @@ type Channel struct {
 
 	sendSeq   uint32
 	nextReqID uint32
+	nonceSeq  uint32 // deterministic session-nonce draws (atomic)
 
 	sendKeys *uapolicy.DerivedKeys
 	recvKeys *uapolicy.DerivedKeys
@@ -61,6 +89,29 @@ func (ch *Channel) RemoteCertificate() []byte { return ch.sec.RemoteCertDER }
 
 // Transport returns the underlying transport.
 func (ch *Channel) Transport() *Transport { return ch.t }
+
+// SessionNonce returns a fresh nonce for session-level challenges
+// (CreateSession/ActivateSession responses). Deterministic channels
+// derive it from the channel derivation — one labeled substream per
+// draw, so a replayed request sequence replays identical nonces and the
+// session signatures over them resolve from the crypto cache; other
+// channels draw from crypto/rand as before.
+func (ch *Channel) SessionNonce() []byte {
+	if ch.sec.Policy.Insecure {
+		return nil
+	}
+	if ch.sec.Derive == nil {
+		return ch.sec.Policy.NewNonce()
+	}
+	n := atomic.AddUint32(&ch.nonceSeq, 1)
+	return ch.sec.Policy.NonceFrom(ch.sec.Derive.Stream("session-nonce-" + strconv.FormatUint(uint64(n), 10)))
+}
+
+// CryptoContext exposes the channel's per-operation crypto context for
+// asymmetric operations outside the OPN exchange (session signatures).
+func (ch *Channel) CryptoContext(label string) uapolicy.CryptoContext {
+	return ch.sec.CryptoContext(label)
+}
 
 const (
 	sequenceHeaderSize = 8
@@ -102,6 +153,11 @@ type sealOpts struct {
 	encryptKey *rsa.PublicKey  // asymmetric encryption
 	symKeys    *uapolicy.DerivedKeys
 	policy     *uapolicy.Policy
+	// signCC/encCC carry the memo engine and per-operation deterministic
+	// streams for the asymmetric (OPN) path; zero values compute
+	// directly with crypto/rand.
+	signCC uapolicy.CryptoContext
+	encCC  uapolicy.CryptoContext
 }
 
 // seal assembles and secures one chunk into dst, which is reset first
@@ -160,7 +216,7 @@ func seal(dst *uatypes.Encoder, msgType string, chunkFlag byte, prefix, seqHdr, 
 		var sig []byte
 		var err error
 		if o.signKey != nil {
-			sig, err = o.policy.AsymSign(o.signKey, dst.Bytes())
+			sig, err = o.policy.AsymSignCtx(o.signCC, o.signKey, dst.Bytes())
 		} else {
 			sig, err = o.policy.SymSign(o.symKeys, dst.Bytes())
 		}
@@ -172,7 +228,7 @@ func seal(dst *uatypes.Encoder, msgType string, chunkFlag byte, prefix, seqHdr, 
 	if o.encrypt {
 		secured := dst.Bytes()[securedStart:]
 		if o.encryptKey != nil {
-			ct, err := o.policy.AsymEncrypt(o.encryptKey, secured)
+			ct, err := o.policy.AsymEncryptCtx(o.encCC, o.encryptKey, secured)
 			if err != nil {
 				return fmt.Errorf("uasc: encrypting chunk: %w", err)
 			}
@@ -198,6 +254,9 @@ type openOpts struct {
 	decryptKey *rsa.PrivateKey // asymmetric decryption (our key)
 	symKeys    *uapolicy.DerivedKeys
 	policy     *uapolicy.Policy
+	// crypto memoizes the asymmetric decrypt/verify (no random source
+	// needed on the receive path).
+	crypto uapolicy.CryptoContext
 }
 
 // open verifies and decrypts a received chunk body (without the 8-byte
@@ -211,7 +270,10 @@ func open(msgType string, chunkFlag byte, body []byte, prefixLen int, o openOpts
 	secured := body[prefixLen:]
 	if o.encrypted {
 		if o.decryptKey != nil {
-			secured, err = o.policy.AsymDecrypt(o.decryptKey, secured)
+			// A cached plaintext is shared across callers; this function
+			// only re-slices it and every downstream decoder read copies,
+			// so treating it as read-only holds.
+			secured, err = o.policy.AsymDecryptCtx(o.crypto, o.decryptKey, secured)
 		} else {
 			err = o.policy.SymDecrypt(o.symKeys, secured)
 		}
@@ -239,7 +301,7 @@ func open(msgType string, chunkFlag byte, body []byte, prefixLen int, o openOpts
 		signed.WriteRaw(body[:prefixLen])
 		signed.WriteRaw(secured[:len(secured)-sigSize])
 		if o.verifyKey != nil {
-			err = o.policy.AsymVerify(o.verifyKey, signed.Bytes(), sig)
+			err = o.policy.AsymVerifyCtx(o.crypto, o.verifyKey, signed.Bytes(), sig)
 		} else {
 			err = o.policy.SymVerify(o.symKeys, signed.Bytes(), sig)
 		}
@@ -290,10 +352,20 @@ func Open(t *Transport, sec ChannelSecurity, lifetimeMS uint32) (*Channel, error
 		ch.remotePub = remote.PublicKey
 	}
 
-	clientNonce := sec.Policy.NewNonce()
+	var clientNonce []byte
+	ts := time.Now()
+	if sec.Derive != nil {
+		// Deterministic handshake: nonce from the exchange derivation,
+		// timestamp pinned, so equal channel parameters replay the
+		// identical OPN request in every wave.
+		clientNonce = sec.Policy.NonceFrom(sec.Derive.Stream("nonce"))
+		ts = uarsa.Epoch
+	} else {
+		clientNonce = sec.Policy.NewNonce()
+	}
 	req := &uamsg.OpenSecureChannelRequest{
 		Header: uamsg.RequestHeader{
-			Timestamp:     time.Now(),
+			Timestamp:     ts,
 			RequestHandle: 1,
 			TimeoutHint:   30000,
 		},
@@ -386,6 +458,8 @@ func (ch *Channel) sendOPN(reqID uint32, body []byte) error {
 			signKey:    ch.sec.LocalKey,
 			encryptKey: ch.remotePub,
 			policy:     ch.sec.Policy,
+			signCC:     ch.sec.CryptoContext("opn-sign"),
+			encCC:      ch.sec.CryptoContext("opn-enc"),
 		})
 	if err != nil {
 		return err
@@ -423,6 +497,7 @@ func (ch *Channel) openOPN(chunk rawChunk) (uamsg.Message, error) {
 		verifyKey:  verifyKey,
 		decryptKey: ch.sec.LocalKey,
 		policy:     ch.sec.Policy,
+		crypto:     uapolicy.CryptoContext{Engine: ch.sec.Engine},
 	})
 	if err != nil {
 		return nil, err
@@ -636,6 +711,15 @@ type ServerConfig struct {
 	// accepted. A nil func accepts everything.
 	ValidateClientCert func(der []byte) uastatus.Code
 	LifetimeMS         uint32
+
+	// Engine, when non-nil, memoizes the server's RSA operations
+	// (campaign-scoped; see package uarsa).
+	Engine *uarsa.Engine
+	// Deterministic derives the server's nonce, padding, salts, channel
+	// id and timestamps from a digest of the client's OPN request, so a
+	// bit-identical request replays a bit-identical response — the
+	// cross-wave hit condition for the crypto cache (DESIGN.md §4).
+	Deterministic bool
 }
 
 var channelIDCounter atomic.Uint32
@@ -673,7 +757,17 @@ func Accept(t *Transport, cfg ServerConfig) (*Channel, error) {
 		Policy:       policy,
 		LocalKey:     cfg.Key,
 		LocalCertDER: cfg.CertDER,
+		Engine:       cfg.Engine,
 	}}
+	if cfg.Deterministic && !policy.Insecure {
+		// The response becomes a pure function of the request: every
+		// random draw below comes from this request-digest derivation, so
+		// a client replaying a bit-identical OPN request (deterministic
+		// scanners do, across waves) receives bit-identical bytes and the
+		// whole exchange resolves from the crypto cache.
+		d := uarsa.Digest([]byte(chunk.msgType), []byte{chunk.chunkType}, chunk.body)
+		ch.sec.Derive = uarsa.NewDerivation([]byte("uasc-server"), d[:])
+	}
 	var clientPub *rsa.PublicKey
 	if !policy.Insecure {
 		if len(hdr.senderCert) == 0 {
@@ -705,6 +799,7 @@ func Accept(t *Transport, cfg ServerConfig) (*Channel, error) {
 		verifyKey:  clientPub,
 		decryptKey: cfg.Key,
 		policy:     policy,
+		crypto:     uapolicy.CryptoContext{Engine: cfg.Engine},
 	})
 	if err != nil {
 		_ = sendError(t.Conn, uastatus.BadSecurityChecksFailed, "OPN security failure")
@@ -733,16 +828,31 @@ func Accept(t *Transport, cfg ServerConfig) (*Channel, error) {
 	}
 	ch.sec.Mode = req.SecurityMode
 
-	ch.ChannelID = channelIDCounter.Add(1)
+	var serverNonce []byte
+	now := time.Now()
+	if ch.sec.Derive != nil {
+		// Channel-id collisions across connections are harmless: each
+		// connection carries exactly one channel and peers only check
+		// their own ids.
+		id := ch.sec.Derive.Uint32("channel-id")
+		if id == 0 {
+			id = 1
+		}
+		ch.ChannelID = id
+		serverNonce = policy.NonceFrom(ch.sec.Derive.Stream("nonce"))
+		now = uarsa.Epoch
+	} else {
+		ch.ChannelID = channelIDCounter.Add(1)
+		serverNonce = policy.NewNonce()
+	}
 	ch.TokenID = 1
-	serverNonce := policy.NewNonce()
 	lifetime := req.RequestedLifetime
 	if cfg.LifetimeMS > 0 && (lifetime == 0 || lifetime > cfg.LifetimeMS) {
 		lifetime = cfg.LifetimeMS
 	}
 	resp := &uamsg.OpenSecureChannelResponse{
 		Header: uamsg.ResponseHeader{
-			Timestamp:     time.Now(),
+			Timestamp:     now,
 			RequestHandle: req.Header.RequestHandle,
 			ServiceResult: uastatus.Good,
 		},
@@ -750,7 +860,7 @@ func Accept(t *Transport, cfg ServerConfig) (*Channel, error) {
 		SecurityToken: uamsg.ChannelSecurityToken{
 			ChannelID:       ch.ChannelID,
 			TokenID:         ch.TokenID,
-			CreatedAt:       time.Now(),
+			CreatedAt:       now,
 			RevisedLifetime: lifetime,
 		},
 		ServerNonce: serverNonce,

@@ -20,6 +20,7 @@ import (
 	"repro/internal/addrspace"
 	"repro/internal/uamsg"
 	"repro/internal/uapolicy"
+	"repro/internal/uarsa"
 	"repro/internal/uasc"
 	"repro/internal/uastatus"
 	"repro/internal/uatypes"
@@ -99,6 +100,13 @@ type Server struct {
 	fsSuffix  []byte // FindServersResponse body after the header
 	respCache atomic.Bool
 
+	// crypto holds the campaign-installed RSA memoization engine and the
+	// deterministic-handshake toggle. Servers are world-owned and shared
+	// across snapshots/campaigns, so the campaign installs its engine
+	// via SetCrypto (an atomic swap; entries are self-contained, so a
+	// later campaign replacing the engine is always safe).
+	crypto atomic.Pointer[cryptoState]
+
 	mu       sync.Mutex
 	closed   bool
 	listener net.Listener
@@ -163,6 +171,19 @@ func (s *Server) knownServers() []uamsg.ApplicationDescription {
 	servers := make([]uamsg.ApplicationDescription, 0, 1+len(s.cfg.KnownServers))
 	servers = append(servers, s.appDesc)
 	return append(servers, s.cfg.KnownServers...)
+}
+
+type cryptoState struct {
+	engine        *uarsa.Engine
+	deterministic bool
+}
+
+// SetCrypto installs (or, with nil/false, removes) the memoized
+// asymmetric-crypto engine and the deterministic-handshake mode for all
+// future connections. Campaign-scoped: deploy.World.SetCrypto applies
+// it to every server the world has built.
+func (s *Server) SetCrypto(engine *uarsa.Engine, deterministic bool) {
+	s.crypto.Store(&cryptoState{engine: engine, deterministic: deterministic})
 }
 
 // EnableResponseCache toggles serving GetEndpoints/FindServers from the
@@ -300,6 +321,10 @@ func (s *Server) HandleConn(conn net.Conn) {
 		CertDER:      s.cfg.CertDER,
 		AllowedModes: s.allowedModes,
 		LifetimeMS:   3600000,
+	}
+	if cs := s.crypto.Load(); cs != nil {
+		cfg.Engine = cs.engine
+		cfg.Deterministic = cs.deterministic
 	}
 	if s.cfg.Quirks.RejectClientCert {
 		cfg.ValidateClientCert = func([]byte) uastatus.Code {
@@ -467,16 +492,21 @@ func (s *Server) createSession(ch *uasc.Channel, sessions map[string]*session, r
 		SessionID:             sess.id,
 		AuthenticationToken:   sess.authToken,
 		RevisedSessionTimeout: req.RequestedSessionTimeout,
-		ServerNonce:           nonceFor(ch),
+		ServerNonce:           ch.SessionNonce(),
 		ServerCertificate:     s.cfg.CertDER,
 		ServerEndpoints:       s.endpoints,
 	}
 	// Sign clientCert+clientNonce on secure channels so conformant
-	// clients can verify possession of the server key.
+	// clients can verify possession of the server key. Routed through
+	// the channel's crypto context: the paper's 385-host reuse cluster
+	// shares one key, and the scanner presents one certificate and a
+	// constant nonce, so across the cluster (and across waves) this is
+	// a single memoized RSA operation.
 	sec := ch.Security()
 	if !sec.Policy.Insecure && s.cfg.Key != nil {
 		data := append(append([]byte{}, req.ClientCertificate...), req.ClientNonce...)
-		if sig, err := sec.Policy.AsymSign(s.cfg.Key, data); err == nil {
+		cc := ch.CryptoContext("create-session-sign")
+		if sig, err := sec.Policy.AsymSignCtx(cc, s.cfg.Key, data); err == nil {
 			resp.ServerSignature = uamsg.SignatureData{
 				Algorithm: sec.Policy.URI,
 				Signature: sig,
@@ -484,14 +514,6 @@ func (s *Server) createSession(ch *uasc.Channel, sessions map[string]*session, r
 		}
 	}
 	return resp
-}
-
-func nonceFor(ch *uasc.Channel) []byte {
-	sec := ch.Security()
-	if sec.Policy.Insecure {
-		return nil
-	}
-	return sec.Policy.NewNonce()
 }
 
 func (s *Server) tokenTypeAdvertised(tt uamsg.UserTokenType) bool {
@@ -546,7 +568,7 @@ func (s *Server) activateSession(ch *uasc.Channel, sessions map[string]*session,
 	sess.identity = identity
 	return &uamsg.ActivateSessionResponse{
 		Header:      okHeader(req.Header.RequestHandle),
-		ServerNonce: nonceFor(ch),
+		ServerNonce: ch.SessionNonce(),
 	}
 }
 

@@ -17,6 +17,13 @@
 // references). Shards are immutable after Build, so concurrent
 // scanners read them without any locking and scanners working
 // disjoint prefixes touch disjoint memory.
+//
+// Snapshots for different waves share the world's underlying server
+// instances, which is what makes the campaign-scoped crypto-reuse layer
+// (PR 4) work across waves: deploy.World.SetCrypto installs the
+// memoized RSA engine on those shared servers once, and every snapshot
+// — past and future — serves handshakes through it. The snapshot
+// itself holds no crypto state (DESIGN.md §4).
 package worldview
 
 import (

@@ -33,6 +33,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/uacert"
 	"repro/internal/uaclient"
+	"repro/internal/uarsa"
 	"repro/internal/worldview"
 )
 
@@ -79,6 +80,14 @@ type CampaignConfig struct {
 	// QueueSize caps the scanner's grab-queue channel buffer
 	// (0 = derived from GrabWorkers).
 	QueueSize int
+	// CryptoCache bounds the campaign's memoized asymmetric-crypto
+	// engine (cached RSA sign/verify/decrypt results across all waves;
+	// 0 = uarsa.DefaultMaxEntries). A negative value disables the
+	// engine AND the deterministic handshakes that make it hit across
+	// waves — every handshake then draws fresh randomness and recomputes
+	// its RSA operations, the pre-cache behavior kept as the benchmark
+	// baseline and equivalence gate. See DESIGN.md §4.
+	CryptoCache int
 	// Barrier selects the legacy depth-synchronized grab scheduling
 	// instead of the streaming work queue (benchmark baseline).
 	Barrier bool
@@ -112,6 +121,11 @@ type Campaign struct {
 	// context was cancelled appear with Wave.Partial set, and waves
 	// never started are absent.
 	Scans map[int]*scanner.Wave
+
+	// CryptoStats is the final hit/miss/eviction snapshot of the
+	// campaign's RSA memoization engine (nil when CryptoCache < 0
+	// disabled it).
+	CryptoStats *uarsa.Stats
 }
 
 func (cfg CampaignConfig) progressf(format string, args ...any) {
@@ -191,9 +205,32 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 	if err != nil {
 		return nil, err
 	}
+
+	// Campaign-scoped crypto reuse: one memoization engine for every
+	// wave and every worker, installed on both sides of the simulated
+	// wire (the scanner's clients here, the world's servers below), with
+	// deterministic handshakes so unchanged hosts replay bit-identical
+	// exchanges across waves and the engine actually hits (DESIGN.md §4).
+	// The install is deliberately not undone at campaign end: concurrent
+	// campaigns may share a world (last install wins), and uninstalling
+	// here would yank another run's engine mid-flight. The engine stays
+	// reachable from the world's servers until the next campaign
+	// replaces it — a few MB at most; callers who keep a world alive
+	// without further campaigns can release it with SetCrypto(nil, false).
+	var suite *uarsa.Suite
+	if cfg.CryptoCache >= 0 {
+		suite = &uarsa.Suite{
+			Engine:        uarsa.NewEngine(cfg.CryptoCache),
+			Seed:          cfg.Seed,
+			Deterministic: true,
+		}
+	}
+	world.SetCrypto(suite.EngineOrNil(), suite != nil)
+
 	base := scanner.Scanner{
 		Key:     key,
 		CertDER: cert.Raw,
+		Crypto:  suite,
 		Timeout: 30 * time.Second,
 		Walk: uaclient.WalkOptions{
 			// The paper's politeness limits with the inter-request delay
@@ -220,6 +257,16 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 		RecordsByWave: make(map[int][]*dataset.HostRecord),
 		Scans:         make(map[int]*scanner.Wave),
 	}
+	// Snapshot the engine counters into Campaign.CryptoStats on every
+	// exit path; consumers (cmd/measure, the benchmarks) surface them —
+	// no progress line here, so callers don't get the summary twice.
+	defer func() {
+		if suite == nil {
+			return
+		}
+		st := suite.Engine.Stats()
+		c.CryptoStats = &st
+	}()
 	workers := cfg.GrabWorkers
 	if workers <= 0 {
 		workers = 32

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
 	"reflect"
 	"strings"
 	"sync"
@@ -256,6 +257,120 @@ func TestCampaignConcurrentCachedMatchesUncached(t *testing.T) {
 	}
 	if !reflect.DeepEqual(cached.Long, uncached.Long) {
 		t.Error("longitudinal analysis differs between cached and uncached runs")
+	}
+}
+
+// TestCampaignConcurrentCryptoCacheMatchesUncached is the PR 4
+// acceptance gate for the memoized asymmetric-crypto engine: a campaign
+// with the engine and deterministic handshakes on (the production
+// default) must produce a byte-identical dataset and identical
+// analyses to the same campaign with CryptoCache disabled — every
+// handshake drawing fresh randomness and recomputing its RSA
+// operations. Concurrent waves keep the engine's sharded maps exercised
+// under -race (the test name matches the CI race-run pattern
+// 'TestCampaignConcurrent'). Waves 5–7 span certificate renewals, so
+// renewed hosts derive fresh exchanges while unchanged hosts replay
+// cached ones — both paths must land in the same dataset bytes.
+//
+// MaxHosts must reach past index 270: the spec's first 270 hosts are
+// mode-None-only and perform no RSA at all (which is why the other
+// equivalence gates can afford 60-host worlds).
+func TestCampaignConcurrentCryptoCacheMatchesUncached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign equivalence skipped in -short mode")
+	}
+	cfg := CampaignConfig{
+		Seed:         2020,
+		Waves:        []int{5, 6, 7},
+		TestKeySizes: true,
+		MaxHosts:     320,
+		NoiseProb:    1e-5,
+		GrabWorkers:  8,
+		WaveWorkers:  2,
+	}
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := RunCampaignOnWorld(context.Background(), cfg, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.CryptoStats == nil {
+		t.Fatal("cached campaign reports no crypto stats")
+	}
+	if cached.CryptoStats.Total().Hits == 0 {
+		t.Error("crypto cache never hit across three waves of an unchanged world")
+	}
+	uncachedCfg := cfg
+	uncachedCfg.CryptoCache = -1
+	uncached, err := RunCampaignOnWorld(context.Background(), uncachedCfg, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncached.CryptoStats != nil {
+		t.Error("uncached campaign reports crypto stats")
+	}
+
+	normalizeWallClock(cached)
+	normalizeWallClock(uncached)
+	if a, b := datasetBytes(t, cached), datasetBytes(t, uncached); !bytes.Equal(a, b) {
+		t.Errorf("datasets differ: %d bytes vs %d bytes", len(a), len(b))
+	}
+	if !reflect.DeepEqual(cached.Analyses, uncached.Analyses) {
+		t.Error("wave analyses differ between crypto-cached and uncached runs")
+	}
+	if !reflect.DeepEqual(cached.Long, uncached.Long) {
+		t.Error("longitudinal analysis differs between crypto-cached and uncached runs")
+	}
+}
+
+// TestFullFidelityPaperAssertions re-runs the complete eight-wave
+// campaign at full fidelity (real key sizes, crypto cache on — the
+// production configuration) and checks the paper's headline numbers.
+// The 2048-bit world takes minutes to materialize, so it only runs when
+// OPCUA_FULL_FIDELITY is set; CI runs it under -race (see
+// .github/workflows/ci.yml), which is the "paper assertions under
+// -race" acceptance gate for the crypto engine.
+func TestFullFidelityPaperAssertions(t *testing.T) {
+	if os.Getenv("OPCUA_FULL_FIDELITY") == "" {
+		t.Skip("set OPCUA_FULL_FIDELITY=1 to run the full-fidelity campaign")
+	}
+	c, err := RunCampaign(context.Background(), CampaignConfig{
+		Seed:        2020,
+		NoiseProb:   0.002,
+		GrabWorkers: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPaperHeadlines(t, c)
+	if c.CryptoStats == nil || c.CryptoStats.Total().HitRate() < 0.5 {
+		t.Errorf("crypto cache underperformed: %+v", c.CryptoStats)
+	}
+}
+
+// assertPaperHeadlines checks the paper's four headline numbers on a
+// completed full-fidelity campaign: 1,114 servers in the final wave,
+// the 385-host/24-AS certificate-reuse cluster (of 9 clusters ≥3
+// hosts), 493 accessible address spaces, and 84 certificate renewals
+// across the waves. Shared by the full-fidelity race gate and the
+// 8-wave campaign benchmark so the numbers live in one place.
+func assertPaperHeadlines(tb testing.TB, c *Campaign) {
+	tb.Helper()
+	w := c.LastWave()
+	if len(w.Servers) != 1114 {
+		tb.Errorf("servers = %d, want 1114", len(w.Servers))
+	}
+	clusters := w.ReuseClustersAtLeast(3)
+	if len(clusters) != 9 || clusters[0].Hosts != 385 || clusters[0].ASes != 24 {
+		tb.Errorf("reuse clusters = %+v, want 9 with 385 hosts / 24 ASes leading", clusters)
+	}
+	if w.Accessible != 493 {
+		tb.Errorf("accessible = %d, want 493", w.Accessible)
+	}
+	if c.Long == nil || len(c.Long.Renewals) != 84 {
+		tb.Errorf("renewals missing or wrong, want 84 (long=%v)", c.Long != nil)
 	}
 }
 
