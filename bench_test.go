@@ -367,6 +367,43 @@ func BenchmarkCampaign8Waves(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaign8WavesSharded is the PR 5 headline: the complete
+// eight-wave full-fidelity campaign with every wave's permuted probe
+// space sharded N ways, each shard running its own fixed grab pool of 8
+// workers — the single-process model of one worker machine per shard
+// (the multi-process twin is cmd/measure -shards). A small artificial
+// RTT is injected into all variants: real measurement waves are
+// network-bound, and that idle dial time is exactly what additional
+// shards' worker pools reclaim — on a multi-core box the shards'
+// protocol CPU also spreads across cores. Paper assertions run inside
+// the loop for every shard count, so the speedup cannot come at the
+// cost of fidelity; the shard merge is byte-exact
+// (TestShardedCampaignByteIdentical pins it).
+func BenchmarkCampaign8WavesSharded(b *testing.B) {
+	c := benchCampaign(b)
+	c.World.Net.SetLatency(5 * time.Millisecond)
+	defer c.World.Net.SetLatency(0)
+	for _, shards := range []int{1, 4} {
+		// The underscore keeps benchjson's GOMAXPROCS-suffix stripping
+		// away from the shard count.
+		b.Run(fmt.Sprintf("shards_%d", shards), func(b *testing.B) {
+			cfg := c.Config
+			cfg.Waves = nil // all eight
+			cfg.Shards = shards
+			cfg.GrabWorkers = 8 // per shard: one machine's worth
+			for i := 0; i < b.N; i++ {
+				run, err := RunCampaignOnWorld(context.Background(), cfg, c.World)
+				if err != nil {
+					b.Fatal(err)
+				}
+				assertPaperHeadlines(b, run)
+				b.ReportMetric(float64(shards), "shards")
+				b.ReportMetric(float64(len(run.LastWave().Servers)), "servers")
+			}
+		})
+	}
+}
+
 // BenchmarkDatasetWrite measures dataset serialization.
 func BenchmarkDatasetWrite(b *testing.B) {
 	c := benchCampaign(b)

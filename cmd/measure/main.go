@@ -6,9 +6,28 @@
 // Usage:
 //
 //	measure [-seed 2020] [-waves 0-7] [-dataset out.jsonl] [-anonymize]
-//	        [-testkeys] [-noise 0.002] [-csv]
+//	        [-testkeys] [-noise 0.002] [-csv] [-max-hosts 0]
 //	        [-grab-workers 32] [-wave-workers 1] [-analyze-workers 0]
 //	        [-sequential] [-crypto-cache 0]
+//
+// Sharded multi-process campaigns (DESIGN.md §5):
+//
+//	# Coordinator: spawn 4 worker subprocesses of this binary, one per
+//	# shard of every wave's permuted probe space, merge their streams
+//	# deterministically, analyze and report the merged campaign:
+//	measure -shards 4 [-dataset out.jsonl] [other flags]
+//
+//	# Worker: scan shard 1 of 4 and stream raw records as wave-ordered
+//	# NDJSON to the -dataset path ("-" or empty = stdout). Run by the
+//	# coordinator, or by hand on separate machines:
+//	measure -shards 4 -shard 1 -dataset shard-1.jsonl
+//
+//	# Merge pre-produced worker outputs without rescanning:
+//	measure -merge shard-0.jsonl,shard-1.jsonl,... [-dataset out.jsonl]
+//
+// Workers always emit raw records (anonymization would desynchronize
+// the shards' sequence numbers); the coordinator/merge step applies
+// -anonymize to the merged stream.
 package main
 
 import (
@@ -17,10 +36,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	opcuastudy "repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/report"
 )
 
 func parseWaves(s string) ([]int, error) {
@@ -53,17 +78,21 @@ func main() {
 	log.SetFlags(0)
 	seed := flag.Int64("seed", 2020, "world generation seed")
 	waves := flag.String("waves", "", "waves to run, e.g. \"7\" or \"0-7\" (default all)")
-	datasetPath := flag.String("dataset", "", "write the dataset as JSONL to this file")
-	anonymize := flag.Bool("anonymize", false, "apply release anonymization to the dataset")
+	datasetPath := flag.String("dataset", "", "write the dataset as JSONL to this file (worker mode: the shard stream; \"-\" = stdout)")
+	anonymize := flag.Bool("anonymize", false, "apply release anonymization to the dataset (ignored in worker mode)")
 	testKeys := flag.Bool("testkeys", false, "use 512-bit keys (fast, breaks key-length analysis)")
 	noise := flag.Float64("noise", 0.002, "open-port noise probability")
 	csv := flag.Bool("csv", false, "print tables as CSV instead of text")
-	grabWorkers := flag.Int("grab-workers", 0, "scanner worker pool size (0 = default 32)")
+	maxHosts := flag.Int("max-hosts", 0, "truncate the simulated population (0 = all; breaks paper fidelity)")
+	grabWorkers := flag.Int("grab-workers", 0, "scanner worker pool size (0 = default 32; per shard when sharded)")
 	waveWorkers := flag.Int("wave-workers", 0, "waves scanned concurrently, each against its own immutable world view (0/1 = one at a time)")
 	analyzeWorkers := flag.Int("analyze-workers", 0, "assessment worker pool size (0 = GOMAXPROCS)")
 	sequential := flag.Bool("sequential", false, "disable the cross-wave scan/analysis overlap")
 	cryptoCache := flag.Int("crypto-cache", 0,
 		"RSA memoization engine entry budget (0 = default; negative disables memoized, deterministic handshakes)")
+	shards := flag.Int("shards", 0, "shard every wave's probe space N ways across worker subprocesses (coordinator mode unless -shard is set)")
+	shard := flag.Int("shard", -1, "worker mode: scan only this shard (0-based; requires -shards)")
+	merge := flag.String("merge", "", "merge pre-produced worker shard streams (comma-separated JSONL files) instead of scanning")
 	flag.Parse()
 
 	waveList, err := parseWaves(*waves)
@@ -75,6 +104,7 @@ func main() {
 		Waves:          waveList,
 		TestKeySizes:   *testKeys,
 		NoiseProb:      *noise,
+		MaxHosts:       *maxHosts,
 		Anonymize:      *anonymize,
 		GrabWorkers:    *grabWorkers,
 		WaveWorkers:    *waveWorkers,
@@ -85,9 +115,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	}
-	c, err := opcuastudy.RunCampaign(context.Background(), cfg)
+
+	switch {
+	case *merge != "":
+		err = mergeShards(cfg, strings.Split(*merge, ","), *datasetPath, *csv)
+	case *shard >= 0:
+		err = runWorker(cfg, *shards, *shard, *datasetPath)
+	case *shards > 1:
+		err = coordinate(cfg, *shards, *datasetPath, *csv)
+	default:
+		err = runSingle(cfg, *datasetPath, *csv)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+// runSingle is the classic single-process campaign.
+func runSingle(cfg opcuastudy.CampaignConfig, datasetPath string, csv bool) error {
+	c, err := opcuastudy.RunCampaign(context.Background(), cfg)
+	if err != nil {
+		return err
 	}
 
 	if st := c.CryptoStats; st != nil {
@@ -99,25 +147,194 @@ func main() {
 			st.Decrypt.Hits, st.Decrypt.Misses, 100*tot.HitRate(), st.Entries, tot.Evictions)
 	}
 
-	for _, tbl := range c.Report() {
-		if *csv {
+	printTables(c.Report(), csv)
+
+	if datasetPath != "" {
+		f, err := os.Create(datasetPath)
+		if err != nil {
+			return err
+		}
+		if err := c.WriteDataset(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dataset written to %s\n", datasetPath)
+	}
+	return nil
+}
+
+// runWorker scans one shard of every selected wave and streams raw
+// records as wave-ordered NDJSON.
+func runWorker(cfg opcuastudy.CampaignConfig, shards, shard int, datasetPath string) error {
+	if shards < 1 || shard >= shards {
+		return fmt.Errorf("-shard %d requires -shards > %d", shard, shard)
+	}
+	if cfg.Anonymize {
+		fmt.Fprintln(os.Stderr, "worker mode emits raw records; -anonymize applies at merge time")
+		cfg.Anonymize = false
+	}
+	out := os.Stdout
+	if datasetPath != "" && datasetPath != "-" {
+		f, err := os.Create(datasetPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	cfg.Progressf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "[shard %d/%d] "+format+"\n",
+			append([]any{shard, shards}, args...)...)
+	}
+	world, err := opcuastudy.BuildWorld(cfg)
+	if err != nil {
+		return err
+	}
+	// The fan-in stage lets NDJSON encoding drain while the next wave
+	// scans; it owns (and closes) the encoder sink.
+	sink := pipeline.NewChanSink(pipeline.NewEncoderSink(out, false), 256)
+	err = opcuastudy.RunCampaignShard(context.Background(), cfg, world, shards, shard, sink)
+	if cerr := sink.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if out != os.Stdout {
+		return out.Close()
+	}
+	return nil
+}
+
+// coordinate spawns one worker subprocess per shard, waits, and merges
+// their streams into the analyzed campaign.
+func coordinate(cfg opcuastudy.CampaignConfig, shards int, datasetPath string, csv bool) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp("", "measure-shards-")
+	if err != nil {
+		return err
+	}
+	// Returning (never exiting) from every path below keeps this
+	// cleanup live: a failed run must not strand the workers' shard
+	// files in /tmp.
+	defer os.RemoveAll(tmp)
+
+	var paths []string
+	var cmds []*exec.Cmd
+	for i := 0; i < shards; i++ {
+		out := filepath.Join(tmp, fmt.Sprintf("shard-%d.jsonl", i))
+		paths = append(paths, out)
+		args := []string{
+			"-shards", strconv.Itoa(shards),
+			"-shard", strconv.Itoa(i),
+			"-dataset", out,
+			"-seed", strconv.FormatInt(cfg.Seed, 10),
+			"-noise", strconv.FormatFloat(cfg.NoiseProb, 'g', -1, 64),
+			"-max-hosts", strconv.Itoa(cfg.MaxHosts),
+			"-grab-workers", strconv.Itoa(cfg.GrabWorkers),
+			"-crypto-cache", strconv.Itoa(cfg.CryptoCache),
+		}
+		if len(cfg.Waves) > 0 {
+			var parts []string
+			for _, w := range cfg.Waves {
+				parts = append(parts, strconv.Itoa(w))
+			}
+			args = append(args, "-waves", strings.Join(parts, ","))
+		}
+		if cfg.TestKeySizes {
+			args = append(args, "-testkeys")
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return fmt.Errorf("spawning shard %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	failed := false
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			log.Printf("shard %d worker failed: %v", i, err)
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("one or more shard workers failed; not merging partial streams")
+	}
+	return mergeShards(cfg, paths, datasetPath, csv)
+}
+
+// mergeShards merges wave-ordered worker streams deterministically,
+// feeds the incremental analyzer (and optionally the final dataset
+// encoder), and prints the report of the merged campaign.
+func mergeShards(cfg opcuastudy.CampaignConfig, paths []string, datasetPath string, csv bool) error {
+	var decoders []*dataset.Decoder
+	for _, p := range paths {
+		f, err := os.Open(strings.TrimSpace(p))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		decoders = append(decoders, dataset.NewDecoder(f))
+	}
+
+	analyzer := pipeline.NewAnalyzer(pipeline.AnalyzerConfig{
+		Workers: cfg.AnalyzeWorkers,
+		Retain:  true,
+		OnWave: func(w *core.WaveAnalysis) {
+			fmt.Fprintf(os.Stderr, "merged wave %d: %d OPC UA hosts (%d servers, %d discovery), %.0f%% deficient\n",
+				w.Wave, len(w.Records), len(w.Servers), w.Discovery, 100*w.DeficientFrac)
+		},
+	})
+	sinks := []pipeline.RecordSink{analyzer}
+	var out *os.File
+	if datasetPath != "" {
+		var err error
+		if out, err = os.Create(datasetPath); err != nil {
+			return err
+		}
+		defer out.Close()
+		sinks = append(sinks, pipeline.NewEncoderSink(out, cfg.Anonymize))
+	}
+	sink := pipeline.Tee(sinks...)
+	if err := pipeline.MergeShardStreams(sink, decoders...); err != nil {
+		return err
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	if out != nil {
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "merged dataset written to %s\n", datasetPath)
+	}
+
+	analyses, long := analyzer.Results()
+	if len(analyses) == 0 {
+		return fmt.Errorf("merged streams contain no analyzable waves")
+	}
+	printTables(report.All(analyses, long), csv)
+	return nil
+}
+
+func printTables(tables []*opcuastudy.Table, csv bool) {
+	for _, tbl := range tables {
+		if csv {
 			fmt.Println(tbl.CSV())
 		} else {
 			fmt.Println(tbl.Render())
 		}
-	}
-
-	if *datasetPath != "" {
-		f, err := os.Create(*datasetPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := c.WriteDataset(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "dataset written to %s\n", *datasetPath)
 	}
 }

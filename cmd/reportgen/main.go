@@ -14,7 +14,6 @@ import (
 	"os"
 
 	opcuastudy "repro"
-	"repro/internal/dataset"
 	"repro/internal/report"
 )
 
@@ -31,11 +30,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	recs, err := dataset.Read(f)
+	// Records stream through the incremental analyzers one at a time;
+	// the dataset is never materialized as a slice.
+	analyses, long, err := opcuastudy.AnalyzeDataset(f)
 	if err != nil {
 		log.Fatal(err)
 	}
-	analyses, long := opcuastudy.AnalyzeRecords(recs)
 	if len(analyses) == 0 {
 		log.Fatal("dataset contains no analyzable waves")
 	}

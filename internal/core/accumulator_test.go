@@ -1,0 +1,100 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// foldFixture builds a few waves of records exercising every fold path:
+// reuse clusters, renewals, discovery servers, weak-ish certs.
+func foldFixture() map[int][]*dataset.HostRecord {
+	t0 := time.Date(2020, 2, 9, 0, 0, 0, 0, time.UTC)
+	byWave := map[int][]*dataset.HostRecord{}
+	for w := 0; w < 3; w++ {
+		date := t0.AddDate(0, 0, 7*w)
+		var recs []*dataset.HostRecord
+		for i := 0; i < 6; i++ {
+			r := rec("100.64.0.1:4840", 64600+i, nil)
+			r.Wave, r.Date = w, date
+			r.Address = "100.64.0." + string(rune('1'+i)) + ":4840"
+			thumb := "shared"
+			if i >= 4 {
+				thumb = "solo-" + r.Address
+			}
+			hash := "SHA-256"
+			if i == 5 && w >= 1 {
+				thumb, hash = "renewed", "SHA-1" // renewal + downgrade in wave 1
+			}
+			r.Cert = cert(thumb, hash, 2048, "Bachmann", t0.AddDate(-1, 0, 0))
+			recs = append(recs, r)
+		}
+		disco := rec("100.64.9.9:4840", 64699, func(r *dataset.HostRecord) {
+			r.ApplicationType = "DiscoveryServer"
+		})
+		disco.Wave, disco.Date = w, date
+		recs = append(recs, disco)
+		byWave[w] = recs
+	}
+	return byWave
+}
+
+// TestWaveAccumulatorMatchesAnalyzeWave pins the incremental fold
+// against the slice-based entry point, field for field.
+func TestWaveAccumulatorMatchesAnalyzeWave(t *testing.T) {
+	for w, recs := range foldFixture() {
+		direct := AnalyzeWave(w, recs[0].Date, recs)
+		acc := NewWaveAccumulator(w, recs[0].Date)
+		for _, r := range recs {
+			acc.Add(r)
+		}
+		if acc.Len() != len(recs) {
+			t.Errorf("wave %d: Len = %d, want %d", w, acc.Len(), len(recs))
+		}
+		folded := acc.Finalize(1)
+		if !reflect.DeepEqual(direct, folded) {
+			t.Errorf("wave %d: incremental fold differs from AnalyzeWave:\n%+v\nvs\n%+v",
+				w, folded, direct)
+		}
+	}
+}
+
+// TestLongitudinalAccumulatorMatchesAnalyze pins the wave-by-wave fold
+// against the slice-based entry point, and the non-retaining mode
+// (keepWaves=false) against it minus the Waves slice.
+func TestLongitudinalAccumulatorMatchesAnalyze(t *testing.T) {
+	byWave := foldFixture()
+	var analyses []*WaveAnalysis
+	for w := 0; w < len(byWave); w++ {
+		analyses = append(analyses, AnalyzeWave(w, byWave[w][0].Date, byWave[w]))
+	}
+	direct := AnalyzeLongitudinal(analyses)
+	if len(direct.Renewals) == 0 || direct.Downgraded == 0 {
+		t.Fatal("fixture produced no renewals; fold paths not exercised")
+	}
+
+	la := NewLongitudinalAccumulator(true)
+	for _, a := range analyses {
+		la.AddWave(a)
+	}
+	if folded := la.Finalize(); !reflect.DeepEqual(direct, folded) {
+		t.Errorf("longitudinal fold differs:\n%+v\nvs\n%+v", folded, direct)
+	}
+
+	flat := NewLongitudinalAccumulator(false)
+	for _, a := range analyses {
+		flat.AddWave(a)
+	}
+	got := flat.Finalize()
+	if got.Waves != nil {
+		t.Error("non-retaining fold kept the per-wave analyses")
+	}
+	want := *direct
+	want.Waves = nil
+	got2 := *got
+	if !reflect.DeepEqual(&want, &got2) {
+		t.Errorf("non-retaining fold differs beyond Waves:\n%+v\nvs\n%+v", got2, want)
+	}
+}

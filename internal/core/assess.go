@@ -215,13 +215,87 @@ func AnalyzeWave(wave int, date time.Time, recs []*dataset.HostRecord) *WaveAnal
 }
 
 // AnalyzeWaveWorkers is AnalyzeWave with an explicit worker count for
-// the per-host assessment stage (0 = GOMAXPROCS). assessHost is pure
-// given the precomputed cross-host reuse index, so hosts are assessed
-// on a fixed pool and merged in record order on a single goroutine —
-// the result is identical to a 1-worker run, field for field.
+// the per-host assessment stage (0 = GOMAXPROCS). It is a thin wrapper
+// over the incremental WaveAccumulator, which streaming pipelines feed
+// record by record instead of materializing a slice first.
 func AnalyzeWaveWorkers(wave int, date time.Time, recs []*dataset.HostRecord, workers int) *WaveAnalysis {
+	acc := NewWaveAccumulator(wave, date)
+	for _, r := range recs {
+		acc.Add(r)
+	}
+	return acc.Finalize(workers)
+}
+
+// WaveAccumulator folds one wave's records as they arrive from the
+// record pipeline. Add maintains every cross-host index the assessment
+// needs (certificate-reuse clusters, the distinct-modulus set for
+// batch-GCD), so Finalize only has to run the per-host assessments and
+// aggregate. The accumulator necessarily retains the wave's records —
+// the WaveAnalysis references them — which is exactly the streaming
+// memory bound: one wave in flight, never the whole campaign.
+//
+// Add and Finalize must be called from one goroutine (the pipeline's
+// fold side); Finalize may be called once.
+type WaveAccumulator struct {
+	wave int
+	date time.Time
+	recs []*dataset.HostRecord
+
+	thumbHosts map[string]map[string]bool
+	thumbASes  map[string]map[int]bool
+	thumbOrg   map[string]string
+	moduli     []*big.Int
+	seenThumb  map[string]bool
+}
+
+// NewWaveAccumulator starts an empty fold for one wave.
+func NewWaveAccumulator(wave int, date time.Time) *WaveAccumulator {
+	return &WaveAccumulator{
+		wave: wave, date: date,
+		thumbHosts: map[string]map[string]bool{},
+		thumbASes:  map[string]map[int]bool{},
+		thumbOrg:   map[string]string{},
+		seenThumb:  map[string]bool{},
+	}
+}
+
+// Add folds one record into the wave.
+func (wa *WaveAccumulator) Add(r *dataset.HostRecord) {
+	wa.recs = append(wa.recs, r)
+	if !r.ReachedOPCUA || r.Cert == nil {
+		return
+	}
+	// Certificate reuse is a cross-host property of non-discovery
+	// servers; the weak-key modulus set spans every certificate seen.
+	if !r.IsDiscovery() {
+		t := r.Cert.Thumbprint
+		if wa.thumbHosts[t] == nil {
+			wa.thumbHosts[t] = map[string]bool{}
+			wa.thumbASes[t] = map[int]bool{}
+		}
+		wa.thumbHosts[t][r.Address] = true
+		wa.thumbASes[t][r.ASN] = true
+		wa.thumbOrg[t] = r.Cert.SubjectOrg
+	}
+	if !wa.seenThumb[r.Cert.Thumbprint] {
+		wa.seenThumb[r.Cert.Thumbprint] = true
+		if raw, err := base64.StdEncoding.DecodeString(r.Cert.ModulusB64); err == nil {
+			wa.moduli = append(wa.moduli, new(big.Int).SetBytes(raw))
+		}
+	}
+}
+
+// Len returns how many records have been folded.
+func (wa *WaveAccumulator) Len() int { return len(wa.recs) }
+
+// Finalize runs the per-host assessments (on `workers` goroutines,
+// 0 = GOMAXPROCS) and aggregates the WaveAnalysis. assessHost is pure
+// given the folded reuse index, so hosts are assessed on a fixed pool
+// and merged in record order on a single goroutine — the result is
+// identical to a 1-worker run, field for field.
+func (wa *WaveAccumulator) Finalize(workers int) *WaveAnalysis {
 	a := &WaveAnalysis{
-		Wave: wave, Date: date,
+		Wave: wa.wave, Date: wa.date,
 		ByVendor:        map[string]int{},
 		ViaCounts:       map[string]int{},
 		ModeSupport:     map[string]int{},
@@ -242,34 +316,15 @@ func AnalyzeWaveWorkers(wave int, date time.Time, recs []*dataset.HostRecord, wo
 		a.DeficitByAS[d] = map[int]int{}
 	}
 
-	// Certificate reuse is a cross-host property: index first.
-	thumbHosts := map[string]map[string]bool{}
-	thumbASes := map[string]map[int]bool{}
-	thumbOrg := map[string]string{}
-	for _, r := range recs {
-		if !r.ReachedOPCUA || r.IsDiscovery() || r.Cert == nil {
-			continue
-		}
-		t := r.Cert.Thumbprint
-		if thumbHosts[t] == nil {
-			thumbHosts[t] = map[string]bool{}
-			thumbASes[t] = map[int]bool{}
-		}
-		thumbHosts[t][r.Address] = true
-		thumbASes[t][r.ASN] = true
-		thumbOrg[t] = r.Cert.SubjectOrg
-	}
 	reused := map[string]bool{}
-	for t, hosts := range thumbHosts {
+	for t, hosts := range wa.thumbHosts {
 		if len(hosts) >= 2 {
 			reused[t] = true
-		}
-		if len(hosts) >= 2 {
 			a.ReuseClusters = append(a.ReuseClusters, ReuseCluster{
 				Thumbprint: t,
 				Hosts:      len(hosts),
-				ASes:       len(thumbASes[t]),
-				SubjectOrg: thumbOrg[t],
+				ASes:       len(wa.thumbASes[t]),
+				SubjectOrg: wa.thumbOrg[t],
 			})
 		}
 	}
@@ -281,19 +336,9 @@ func AnalyzeWaveWorkers(wave int, date time.Time, recs []*dataset.HostRecord, wo
 	})
 
 	// Weak keys: batch-GCD across distinct moduli (§5.3).
-	var moduli []*big.Int
-	seenThumb := map[string]bool{}
-	for _, r := range recs {
-		if !r.ReachedOPCUA || r.Cert == nil || seenThumb[r.Cert.Thumbprint] {
-			continue
-		}
-		seenThumb[r.Cert.Thumbprint] = true
-		if raw, err := base64.StdEncoding.DecodeString(r.Cert.ModulusB64); err == nil {
-			moduli = append(moduli, new(big.Int).SetBytes(raw))
-		}
-	}
-	a.WeakKeyFindings = len(weakkeys.BatchGCD(moduli, false))
+	a.WeakKeyFindings = len(weakkeys.BatchGCD(wa.moduli, false))
 
+	recs := wa.recs
 	assessments := assessAll(recs, reused, workers)
 	for i, r := range recs {
 		if !r.ReachedOPCUA {

@@ -264,37 +264,117 @@ func splitEndpointURL(u string) (host, port string, ok bool) {
 	return h, p, true
 }
 
-// Write streams records as JSON lines.
-func Write(w io.Writer, recs []*HostRecord) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for _, r := range recs {
-		if err := enc.Encode(r); err != nil {
-			return fmt.Errorf("dataset: encode: %w", err)
-		}
+// Clone returns a deep copy of the record covering every field the
+// anonymizer mutates (certificate, endpoints, nodes), so release
+// processing never touches the analysis-grade original.
+func (r *HostRecord) Clone() *HostRecord {
+	cp := *r
+	if r.Cert != nil {
+		cc := *r.Cert
+		cp.Cert = &cc
 	}
-	return bw.Flush()
+	cp.Nodes = append([]NodeRecord(nil), r.Nodes...)
+	cp.Endpoints = append([]EndpointRecord(nil), r.Endpoints...)
+	return &cp
 }
 
-// Read loads JSONL records.
-func Read(r io.Reader) ([]*HostRecord, error) {
-	var out []*HostRecord
+// AnonymizedCopy clones the record and applies the release rules to the
+// copy; the original stays analysis-grade.
+func (a *Anonymizer) AnonymizedCopy(rec *HostRecord) *HostRecord {
+	cp := rec.Clone()
+	a.Anonymize(cp)
+	return cp
+}
+
+// Encoder streams records to NDJSON one at a time — the unit the record
+// pipeline works in. Callers must Flush (once, at the end) for the
+// buffered tail to reach the underlying writer.
+type Encoder struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewEncoder returns an Encoder writing NDJSON to w.
+func NewEncoder(w io.Writer) *Encoder {
+	bw := bufio.NewWriter(w)
+	return &Encoder{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Encode appends one record line.
+func (e *Encoder) Encode(r *HostRecord) error {
+	if err := e.enc.Encode(r); err != nil {
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	return nil
+}
+
+// Flush drains the buffer to the underlying writer.
+func (e *Encoder) Flush() error {
+	if err := e.bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: flush: %w", err)
+	}
+	return nil
+}
+
+// Decoder streams records from NDJSON one at a time, so consumers (the
+// shard merge, the incremental analyzer) never need a whole dataset in
+// memory.
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewDecoder returns a Decoder reading NDJSON from r.
+func NewDecoder(r io.Reader) *Decoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 16<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
+	return &Decoder{sc: sc}
+}
+
+// Decode returns the next record, or io.EOF after the last one.
+func (d *Decoder) Decode() (*HostRecord, error) {
+	for d.sc.Scan() {
+		d.line++
+		if len(d.sc.Bytes()) == 0 {
 			continue
 		}
-		var rec HostRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		rec := new(HostRecord)
+		if err := json.Unmarshal(d.sc.Bytes(), rec); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", d.line, err)
 		}
-		out = append(out, &rec)
+		return rec, nil
 	}
-	if err := sc.Err(); err != nil {
+	if err := d.sc.Err(); err != nil {
 		return nil, fmt.Errorf("dataset: read: %w", err)
 	}
-	return out, nil
+	return nil, io.EOF
+}
+
+// Write streams records as JSON lines. It is a compatibility wrapper
+// over the record-at-a-time Encoder, which pipeline code uses directly.
+func Write(w io.Writer, recs []*HostRecord) error {
+	enc := NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
+}
+
+// Read loads JSONL records. It is a compatibility wrapper over the
+// streaming Decoder, which pipeline code uses directly.
+func Read(r io.Reader) ([]*HostRecord, error) {
+	var out []*HostRecord
+	dec := NewDecoder(r)
+	for {
+		rec, err := dec.Decode()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
 }

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -146,5 +147,81 @@ func TestAnonymizeUnparseableAddress(t *testing.T) {
 	a.Anonymize(rec)
 	if !strings.HasPrefix(rec.Address, "host-") {
 		t.Errorf("address = %q", rec.Address)
+	}
+}
+
+// TestEncoderDecoderStreaming pins the record-at-a-time pipeline API:
+// the streaming Encoder produces the exact bytes of the slice-based
+// Write wrapper, and Decode yields the records one by one with io.EOF
+// at the end.
+func TestEncoderDecoderStreaming(t *testing.T) {
+	recs := []*HostRecord{
+		FromResult(sampleResult(), 6, time.Date(2020, 8, 23, 0, 0, 0, 0, time.UTC), 64601),
+		FromResult(sampleResult(), 7, time.Date(2020, 8, 30, 0, 0, 0, 0, time.UTC), 64602),
+	}
+
+	var streamed bytes.Buffer
+	enc := NewEncoder(&streamed)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var sliced bytes.Buffer
+	if err := Write(&sliced, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), sliced.Bytes()) {
+		t.Errorf("streamed encoding differs from Write: %d vs %d bytes",
+			streamed.Len(), sliced.Len())
+	}
+
+	dec := NewDecoder(&streamed)
+	for i := range recs {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Wave != recs[i].Wave || got.Address != recs[i].Address {
+			t.Errorf("record %d: wave %d %s, want wave %d %s",
+				i, got.Wave, got.Address, recs[i].Wave, recs[i].Address)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Errorf("after last record: err = %v, want io.EOF", err)
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Errorf("Decode after EOF: err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecoderRejectsGarbageLine(t *testing.T) {
+	dec := NewDecoder(strings.NewReader("{\"wave\":7}\nnot json\n"))
+	if _, err := dec.Decode(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(); err == nil || err == io.EOF {
+		t.Errorf("garbage line: err = %v, want parse error", err)
+	}
+}
+
+// TestAnonymizedCopyLeavesOriginal pins the release-processing rule the
+// pipeline sinks rely on: anonymization operates on a deep copy.
+func TestAnonymizedCopyLeavesOriginal(t *testing.T) {
+	a := NewAnonymizer()
+	rec := FromResult(sampleResult(), 7, time.Now().UTC(), 64601)
+	rec.Cert = &CertRecord{Thumbprint: "abc123", SubjectOrg: "Bachmann"}
+	cp := a.AnonymizedCopy(rec)
+	if cp.Address == rec.Address {
+		t.Errorf("copy not anonymized: %q", cp.Address)
+	}
+	if rec.Address != "100.64.0.5:4840" || rec.Cert.SubjectOrg != "Bachmann" {
+		t.Errorf("original mutated: %q %q", rec.Address, rec.Cert.SubjectOrg)
+	}
+	if rec.Nodes[0].ValueSample == "" {
+		t.Error("original node payload dropped")
 	}
 }

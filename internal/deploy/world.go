@@ -2,9 +2,12 @@ package deploy
 
 import (
 	"crypto/rsa"
+	"encoding/binary"
 	"fmt"
+	"math/big"
 	mrand "math/rand"
 	"net/netip"
+	"strconv"
 	"sync"
 	"time"
 
@@ -87,6 +90,14 @@ func BuildUniverse() (*simnet.Universe, error) {
 }
 
 // Materialize builds the network, keys, certificates and servers.
+//
+// Materialization is a pure function of the spec: keys come from a
+// deterministic pool seeded by spec.Seed and certificate serials are
+// derived from the same seed, so any number of processes materializing
+// the same spec hold byte-identical certificates. Sharded campaign
+// workers (scanner.RunWaveShard via cmd/measure -shard) depend on this
+// — a cluster certificate observed by two workers must carry one
+// thumbprint, or the merged reuse analysis falls apart (DESIGN.md §5).
 func Materialize(spec *Spec, opts Options) (*World, error) {
 	if opts.NoiseProb == 0 {
 		opts.NoiseProb = 0.01
@@ -99,7 +110,13 @@ func Materialize(spec *Spec, opts Options) (*World, error) {
 	nw.SetNoise(opts.NoiseProb)
 	nw.SetLatency(opts.Latency)
 
-	w := &World{Spec: spec, Net: nw, Keys: uacert.NewKeyPool(), wave: -1}
+	w := &World{Spec: spec, Net: nw, Keys: uacert.NewDeterministicKeyPool(spec.Seed), wave: -1}
+	var seedB [8]byte
+	binary.LittleEndian.PutUint64(seedB[:], uint64(spec.Seed))
+	serialFor := func(role string, idx int) *big.Int {
+		return uacert.DeterministicSerial([]byte("deploy-serial"), seedB[:],
+			[]byte(role), []byte(strconv.Itoa(idx)))
+	}
 
 	hostSpecs := spec.Hosts
 	if opts.MaxHosts > 0 && opts.MaxHosts < len(hostSpecs) {
@@ -162,6 +179,7 @@ func Materialize(spec *Spec, opts Options) (*World, error) {
 			SignatureHash:  c.class.Hash,
 			NotBefore:      member.Cert.NotBefore,
 			NotAfter:       member.Cert.NotBefore.AddDate(20, 0, 0),
+			SerialNumber:   serialFor("cluster", ci),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("deploy: cluster %d cert: %w", ci, err)
@@ -185,6 +203,7 @@ func Materialize(spec *Spec, opts Options) (*World, error) {
 				SignatureHash:  hs.Cert.Class.Hash,
 				NotBefore:      hs.Cert.NotBefore,
 				NotAfter:       hs.Cert.NotBefore.AddDate(20, 0, 0),
+				SerialNumber:   serialFor("host", hs.Index),
 			})
 			if err != nil {
 				return nil, fmt.Errorf("deploy: host %d cert: %w", hs.Index, err)
@@ -198,6 +217,7 @@ func Materialize(spec *Spec, opts Options) (*World, error) {
 					SignatureHash:  hs.Cert.PriorClass.Hash,
 					NotBefore:      hs.Cert.PriorNotBefore,
 					NotAfter:       hs.Cert.PriorNotBefore.AddDate(20, 0, 0),
+					SerialNumber:   serialFor("prior", hs.Index),
 				})
 				if err != nil {
 					return nil, fmt.Errorf("deploy: host %d prior cert: %w", hs.Index, err)
@@ -221,6 +241,7 @@ func Materialize(spec *Spec, opts Options) (*World, error) {
 		ApplicationURI: "urn:opcfoundation.org:UA:LDS",
 		SignatureHash:  uacert.HashSHA256,
 		NotBefore:      time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+		SerialNumber:   serialFor("discovery", 0),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("deploy: discovery cert: %w", err)

@@ -459,3 +459,39 @@ func thumbprintHex(t *testing.T, der []byte) string {
 	}
 	return c.ThumbprintHex()
 }
+
+// TestMaterializeDeterministicAcrossProcesses pins the property the
+// multi-process shard workers depend on: two independent
+// materializations of the same spec (as two worker processes would
+// perform) agree on every certificate byte — same thumbprints for
+// host, prior, cluster and discovery certificates.
+func TestMaterializeDeterministicAcrossProcesses(t *testing.T) {
+	build := func() *World {
+		t.Helper()
+		spec, err := BuildSpec(2020)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := Materialize(spec, Options{TestKeySizes: true, MaxHosts: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := build(), build()
+	if len(a.hosts) != len(b.hosts) {
+		t.Fatalf("host counts differ: %d vs %d", len(a.hosts), len(b.hosts))
+	}
+	for i := range a.hosts {
+		if a.hosts[i].cert.ThumbprintHex() != b.hosts[i].cert.ThumbprintHex() {
+			t.Errorf("host %d certificate differs between materializations", i)
+		}
+		if (a.hosts[i].prior == nil) != (b.hosts[i].prior == nil) {
+			t.Fatalf("host %d prior presence differs", i)
+		}
+		if a.hosts[i].prior != nil &&
+			a.hosts[i].prior.ThumbprintHex() != b.hosts[i].prior.ThumbprintHex() {
+			t.Errorf("host %d prior certificate differs between materializations", i)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package pipeline is the campaign's streaming record plumbing: sinks
+// that consume measurement records one at a time, a bounded-channel
+// fan-in stage that decouples producers from slow consumers, an
+// incremental analyzer that folds a wave-ordered record stream into the
+// paper's per-wave and longitudinal analyses, and the deterministic
+// merge of sharded worker streams.
+//
+// Ownership rules (DESIGN.md §5): whoever constructs a sink closes it,
+// exactly once, after the last Put. Wrapping sinks (ChanSink, Tee) own
+// their downstreams — closing the wrapper closes what it wraps. The
+// campaign never closes a sink the caller passed in
+// (opcuastudy.CampaignConfig.RecordSink), because the caller may have
+// more streams to feed it.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+)
+
+// RecordSink consumes a stream of host records. Put and Close must not
+// be called after Close; unless an implementation says otherwise, Put
+// is single-goroutine (ChanSink is the explicitly concurrent-safe one).
+type RecordSink interface {
+	Put(rec *dataset.HostRecord) error
+	Close() error
+}
+
+// EncoderSink streams records to NDJSON, optionally applying the
+// release anonymization to a copy of each record (originals are never
+// mutated, and the anonymizer's sequence numbers follow stream order,
+// so one sink anonymizes a whole campaign consistently). Close flushes
+// but does not close the underlying writer, which the caller owns.
+type EncoderSink struct {
+	enc  *dataset.Encoder
+	anon *dataset.Anonymizer
+}
+
+// NewEncoderSink returns an EncoderSink writing NDJSON to w.
+func NewEncoderSink(w io.Writer, anonymize bool) *EncoderSink {
+	s := &EncoderSink{enc: dataset.NewEncoder(w)}
+	if anonymize {
+		s.anon = dataset.NewAnonymizer()
+	}
+	return s
+}
+
+// Put encodes one record.
+func (s *EncoderSink) Put(rec *dataset.HostRecord) error {
+	if s.anon != nil {
+		rec = s.anon.AnonymizedCopy(rec)
+	}
+	return s.enc.Encode(rec)
+}
+
+// Close flushes the encoder.
+func (s *EncoderSink) Close() error { return s.enc.Flush() }
+
+// SliceSink accumulates records in memory, for callers that want a
+// pipeline stage to terminate in a plain slice (tests, ad-hoc
+// analysis); production campaign paths stream instead.
+type SliceSink struct {
+	Records []*dataset.HostRecord
+}
+
+// Put appends the record.
+func (s *SliceSink) Put(rec *dataset.HostRecord) error {
+	s.Records = append(s.Records, rec)
+	return nil
+}
+
+// Close is a no-op.
+func (s *SliceSink) Close() error { return nil }
+
+// Tee fans one stream out to several sinks. Put forwards to every sink
+// in order and stops at the first error; Close closes every sink (the
+// tee owns them) and returns the first error.
+func Tee(sinks ...RecordSink) RecordSink { return teeSink(sinks) }
+
+type teeSink []RecordSink
+
+func (t teeSink) Put(rec *dataset.HostRecord) error {
+	for _, s := range t {
+		if err := s.Put(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t teeSink) Close() error {
+	var first error
+	for _, s := range t {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ChanSink is the bounded-channel fan-in stage: any number of producer
+// goroutines may call Put concurrently, and a single drain goroutine
+// applies the records to the downstream sink in arrival order — so a
+// sink that is not concurrency-safe (an EncoderSink on a file, the
+// Analyzer) can absorb a concurrent stage's output, and a slow consumer
+// (disk, the assessment) backpressures producers only once the buffer
+// fills instead of serializing every Put.
+//
+// The ChanSink owns the downstream: Close waits for the drain to finish
+// and then closes it. A downstream Put error closes the intake — later
+// Puts return the error, buffered records are dropped — and the error
+// is also returned from Close.
+type ChanSink struct {
+	downstream RecordSink
+	ch         chan *dataset.HostRecord
+	failed     chan struct{}
+	done       chan struct{}
+	err        error
+}
+
+// NewChanSink starts the drain goroutine with the given buffer size
+// (minimum 1). Close must be called exactly once, after every producer
+// is finished.
+func NewChanSink(downstream RecordSink, buffer int) *ChanSink {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &ChanSink{
+		downstream: downstream,
+		ch:         make(chan *dataset.HostRecord, buffer),
+		failed:     make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		for rec := range s.ch {
+			if s.err != nil {
+				continue // drain so producers never block forever
+			}
+			if err := s.downstream.Put(rec); err != nil {
+				s.err = fmt.Errorf("pipeline: fan-in downstream: %w", err)
+				close(s.failed)
+			}
+		}
+	}()
+	return s
+}
+
+// Put enqueues one record; safe for concurrent use.
+func (s *ChanSink) Put(rec *dataset.HostRecord) error {
+	select {
+	case s.ch <- rec:
+		return nil
+	case <-s.failed:
+		return s.err
+	}
+}
+
+// Close drains the buffer, closes the downstream, and returns the first
+// error of either.
+func (s *ChanSink) Close() error {
+	close(s.ch)
+	<-s.done
+	cerr := s.downstream.Close()
+	if s.err != nil {
+		return s.err
+	}
+	return cerr
+}

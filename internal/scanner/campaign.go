@@ -2,9 +2,6 @@ package scanner
 
 import (
 	"context"
-	"fmt"
-	"slices"
-	"strings"
 	"sync"
 	"time"
 
@@ -72,42 +69,7 @@ type Wave struct {
 // (no grabs ran), so callers can always tell an interrupted wave from
 // one never started; the wave is never nil alongside a non-nil error.
 func RunWave(ctx context.Context, nw simnet.View, sc *Scanner, cfg WaveConfig) (*Wave, error) {
-	start := time.Now()
-	if cfg.GrabWorkers <= 0 {
-		cfg.GrabWorkers = 32
-	}
-	if cfg.MaxFollowDepth <= 0 {
-		cfg.MaxFollowDepth = 2
-	}
-	open, err := PortScan(ctx, nw, cfg.PortScan)
-	if err != nil {
-		return &Wave{Date: cfg.Date, OpenPorts: len(open), Partial: true,
-			Duration: time.Since(start)}, fmt.Errorf("scanner: port scan: %w", err)
-	}
-	wave := &Wave{Date: cfg.Date, OpenPorts: len(open)}
-
-	port := cfg.PortScan.Port
-	if port == 0 {
-		port = 4840
-	}
-	targets := make([]Target, 0, len(open))
-	for _, addr := range open {
-		targets = append(targets, Target{
-			Address: fmt.Sprintf("%s:%d", addr, port),
-			Via:     ViaPortScan,
-		})
-	}
-
-	if cfg.Barrier {
-		wave.Results = runBarrier(ctx, sc, targets, cfg)
-	} else {
-		wave.Results = runStreaming(ctx, sc, targets, cfg)
-	}
-	sortResults(wave.Results)
-	err = ctx.Err()
-	wave.Partial = err != nil
-	wave.Duration = time.Since(start)
-	return wave, err
+	return runWaveRange(ctx, nw, sc, cfg, 0, nw.Universe().Size())
 }
 
 // grabJob is one queued target with its follow-up depth (0 = port scan).
@@ -264,17 +226,12 @@ func grabBatch(ctx context.Context, sc *Scanner, targets []Target, workers int) 
 }
 
 // sortResults orders a wave deterministically: port-scan discoveries
-// first (mirroring the pre-streaming depth order), then by address.
+// first (mirroring the pre-streaming depth order), then by address —
+// the shared SortShardItems order, which shard merges also apply.
 func sortResults(results []*Result) {
-	slices.SortFunc(results, func(a, b *Result) int {
-		if (a.Via == ViaPortScan) != (b.Via == ViaPortScan) {
-			if a.Via == ViaPortScan {
-				return -1
-			}
-			return 1
-		}
-		return strings.Compare(a.Address, b.Address)
-	})
+	SortShardItems(results,
+		func(r *Result) string { return r.Address },
+		func(r *Result) bool { return r.Via == ViaPortScan })
 }
 
 // OPCUAResults filters a wave down to hosts that actually speak OPC UA.

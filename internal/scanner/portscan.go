@@ -40,6 +40,15 @@ const ctxCheckInterval = 1024
 // it beyond set equality, which is what the grab stage's deterministic
 // sort consumes.
 func PortScan(ctx context.Context, nw simnet.View, cfg PortScanConfig) ([]netip.Addr, error) {
+	return PortScanRange(ctx, nw, cfg, 0, nw.Universe().Size())
+}
+
+// PortScanRange probes only the permuted indexes in [lo, hi) — one
+// shard's contiguous slice of the same permutation PortScan walks, so
+// the shards of a ShardPlan partition the address space exactly and
+// their union visits every address exactly once. hi is clamped to the
+// universe size; the full range reproduces PortScan.
+func PortScanRange(ctx context.Context, nw simnet.View, cfg PortScanConfig, lo, hi uint64) ([]netip.Addr, error) {
 	if cfg.Port == 0 {
 		cfg.Port = 4840
 	}
@@ -47,8 +56,18 @@ func PortScan(ctx context.Context, nw simnet.View, cfg PortScanConfig) ([]netip.
 		cfg.Workers = 64
 	}
 	u := nw.Universe()
-	n := u.Size()
-	perm := NewPermutation(n, cfg.Seed)
+	total := u.Size()
+	if hi > total {
+		hi = total
+	}
+	if lo > hi {
+		lo = hi
+	}
+	n := hi - lo
+	// The permutation always spans the full universe: a shard owns a
+	// slice of the permuted index space, not a slice of the address
+	// space, preserving zmap's no-burst property inside every shard.
+	perm := NewPermutation(total, cfg.Seed)
 
 	var limiter *time.Ticker
 	if cfg.Rate > 0 {
@@ -74,11 +93,11 @@ func PortScan(ctx context.Context, nw simnet.View, cfg PortScanConfig) ([]netip.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		// Static sharding: worker w owns the contiguous index range
-		// [n*w/workers, n*(w+1)/workers). The permutation spreads each
-		// range across the whole address space, preserving zmap's
-		// no-burst property per shard.
-		lo := n * uint64(w) / uint64(workers)
-		hi := n * uint64(w+1) / uint64(workers)
+		// [lo + n*w/workers, lo + n*(w+1)/workers) of the assigned
+		// slice. The permutation spreads each range across the whole
+		// address space, preserving zmap's no-burst property per shard.
+		wlo := lo + n*uint64(w)/uint64(workers)
+		whi := lo + n*uint64(w+1)/uint64(workers)
 		wg.Add(1)
 		go func(w int, lo, hi uint64) {
 			defer wg.Done()
@@ -104,14 +123,14 @@ func PortScan(ctx context.Context, nw simnet.View, cfg PortScanConfig) ([]netip.
 					open = append(open, addr)
 				}
 			}
-		}(w, lo, hi)
+		}(w, wlo, whi)
 	}
 	wg.Wait()
-	total := 0
+	count := 0
 	for _, s := range shards {
-		total += len(s)
+		count += len(s)
 	}
-	open := make([]netip.Addr, 0, total)
+	open := make([]netip.Addr, 0, count)
 	for _, s := range shards {
 		open = append(open, s...)
 	}

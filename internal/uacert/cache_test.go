@@ -95,3 +95,55 @@ func TestParseCacheBounded(t *testing.T) {
 		t.Error("certificate under the raised limit was not cached")
 	}
 }
+
+// TestDeterministicKeyReproducible pins the property the multi-process
+// shard workers depend on: the same label parts always derive the same
+// key, different parts derive different keys, and two deterministic
+// pools built from one seed agree at every index (including through a
+// parallel Prewarm).
+func TestDeterministicKeyReproducible(t *testing.T) {
+	a, err := DeterministicKey(512, []byte("test"), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeterministicKey(512, []byte("test"), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N.Cmp(b.N) != 0 || a.D.Cmp(b.D) != 0 {
+		t.Error("same parts derived different keys")
+	}
+	if a.N.BitLen() != 512 {
+		t.Errorf("modulus = %d bits, want 512", a.N.BitLen())
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("derived key invalid: %v", err)
+	}
+	c, err := DeterministicKey(512, []byte("test"), []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N.Cmp(c.N) == 0 {
+		t.Error("different parts derived the same key")
+	}
+
+	p1, p2 := NewDeterministicKeyPool(2020), NewDeterministicKeyPool(2020)
+	p1.Prewarm(512, 4)
+	for i := 0; i < 4; i++ {
+		if p1.Key(512, i).N.Cmp(p2.Key(512, i).N) != 0 {
+			t.Errorf("pool key (512, %d) differs between processes", i)
+		}
+	}
+	if p1.Key(512, 0).N.Cmp(p1.Key(512, 1).N) == 0 {
+		t.Error("pool reused a key across indexes")
+	}
+	if NewDeterministicKeyPool(2021).Key(512, 0).N.Cmp(p1.Key(512, 0).N) == 0 {
+		t.Error("different seeds derived the same key")
+	}
+
+	s1 := DeterministicSerial([]byte("host"), []byte("7"))
+	s2 := DeterministicSerial([]byte("host"), []byte("7"))
+	if s1.Cmp(s2) != 0 || s1.Sign() < 0 || s1.BitLen() > 64 {
+		t.Errorf("serials: %v vs %v", s1, s2)
+	}
+}

@@ -3,11 +3,16 @@ package uacert
 import (
 	"crypto/rand"
 	"crypto/rsa"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"runtime"
+	"strconv"
 	"sync"
+
+	"repro/internal/uarsa"
 )
 
 // KeyPool generates and memoizes RSA keys by size. World construction in
@@ -17,11 +22,56 @@ import (
 type KeyPool struct {
 	mu   sync.Mutex
 	keys map[int][]*rsa.PrivateKey
+	// gen produces the (bits, idx) key. The default draws crypto/rand;
+	// deterministic pools derive the key from a seed instead, so that
+	// separate processes materializing the same world agree on every
+	// key byte (the multi-process shard workers depend on this).
+	gen func(bits, idx int) *rsa.PrivateKey
 }
 
-// NewKeyPool returns an empty pool.
+// NewKeyPool returns an empty pool drawing keys from crypto/rand.
 func NewKeyPool() *KeyPool {
 	return &KeyPool{keys: make(map[int][]*rsa.PrivateKey)}
+}
+
+// NewDeterministicKeyPool returns a pool whose (bits, idx) key is a pure
+// function of seed: any number of processes building the pool from the
+// same seed hold byte-identical keys at every index. The simulated
+// world's certificate analysis only needs keys that are unique and of
+// the right size — it never relies on them being secret — so the
+// deterministic derivation trades no fidelity for cross-process
+// reproducibility (DESIGN.md §5).
+func NewDeterministicKeyPool(seed int64) *KeyPool {
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], uint64(seed))
+	return &KeyPool{
+		keys: make(map[int][]*rsa.PrivateKey),
+		gen: func(bits, idx int) *rsa.PrivateKey {
+			key, err := DeterministicKey(bits, []byte("uacert-keypool"), sb[:],
+				[]byte(strconv.Itoa(bits)+"/"+strconv.Itoa(idx)))
+			if err != nil {
+				panic(fmt.Sprintf("uacert: deterministic %d-bit key %d: %v", bits, idx, err))
+			}
+			return key
+		},
+	}
+}
+
+// generate produces one key at the absolute index.
+func (p *KeyPool) generate(bits, idx int) *rsa.PrivateKey {
+	if p.gen != nil {
+		return p.gen(bits, idx)
+	}
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		panic(fmt.Sprintf("uacert: generating %d-bit key: %v", bits, err))
+	}
+	// Explicit CRT precomputation: every private-key operation in the
+	// measurement hot path (OPN sign/decrypt) takes the ~4× CRT fast
+	// path. GenerateKey precomputes today, but the wave budget depends
+	// on it, so it is asserted here and tested in deploy.
+	key.Precompute()
+	return key
 }
 
 // Key returns the idx-th key of the given bit size, generating keys as
@@ -30,16 +80,7 @@ func (p *KeyPool) Key(bits, idx int) *rsa.PrivateKey {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for len(p.keys[bits]) <= idx {
-		key, err := rsa.GenerateKey(rand.Reader, bits)
-		if err != nil {
-			panic(fmt.Sprintf("uacert: generating %d-bit key: %v", bits, err))
-		}
-		// Explicit CRT precomputation: every private-key operation in the
-		// measurement hot path (OPN sign/decrypt) takes the ~4× CRT fast
-		// path. GenerateKey precomputes today, but the wave budget depends
-		// on it, so it is asserted here and tested in deploy.
-		key.Precompute()
-		p.keys[bits] = append(p.keys[bits], key)
+		p.keys[bits] = append(p.keys[bits], p.generate(bits, len(p.keys[bits])))
 	}
 	return p.keys[bits][idx]
 }
@@ -70,18 +111,89 @@ func (p *KeyPool) Prewarm(bits, n int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			key, err := rsa.GenerateKey(rand.Reader, bits)
-			if err != nil {
-				panic(fmt.Sprintf("uacert: generating %d-bit key: %v", bits, err))
-			}
-			key.Precompute() // CRT fast path; see Key
-			keys[i] = key
+			// Generation is keyed by the absolute pool index, so the
+			// parallel fill assigns the same key to the same slot a
+			// serial Key() loop would.
+			keys[i] = p.generate(bits, have+i)
 		}(i)
 	}
 	wg.Wait()
 	p.mu.Lock()
-	p.keys[bits] = append(p.keys[bits], keys...)
+	// Key() calls racing the fill may have grown the slice; only append
+	// the indexes still missing (in deterministic mode the overlapping
+	// keys are identical anyway).
+	if cur := len(p.keys[bits]); cur < n {
+		p.keys[bits] = append(p.keys[bits], keys[cur-have:]...)
+	}
 	p.mu.Unlock()
+}
+
+// DeterministicKey derives an RSA key of the given (even) bit size as a
+// pure function of the length-framed label parts: every process calling
+// it with the same arguments holds the same key. Primes are drawn from
+// labeled uarsa streams via the standard prime search, so the key is
+// structurally indistinguishable from a crypto/rand one (distinct
+// primes, full modulus length, CRT precomputed) — only reproducible.
+func DeterministicKey(bits int, parts ...[]byte) (*rsa.PrivateKey, error) {
+	if bits < 128 || bits%2 != 0 {
+		return nil, fmt.Errorf("uacert: deterministic key size %d unsupported", bits)
+	}
+	for attempt := 0; ; attempt++ {
+		d := uarsa.NewDerivation(append(parts, []byte("attempt-"+strconv.Itoa(attempt)))...)
+		p := deterministicPrime(d.Stream("p"), bits/2)
+		q := deterministicPrime(d.Stream("q"), bits/2)
+		// Retry deterministically on the rare rejects (p == q, e not
+		// invertible, product a bit short): the attempt counter is part
+		// of the derivation, so every process walks the same sequence.
+		key, err := NewKeyFromPrimes(p, q)
+		if err != nil || key.N.BitLen() != bits {
+			continue
+		}
+		return key, nil
+	}
+}
+
+// deterministicPrime is crypto/rand.Prime's candidate search without
+// its randutil.MaybeReadByte call — that call consumes 0 or 1 stream
+// bytes at the runtime's whim, deliberately defeating the reproducible
+// derivation this package needs. Candidates draw from r with the top
+// two bits set (so a product of two halves never comes up a bit short)
+// and the low bit set; ProbablyPrime(20) is a deterministic predicate
+// of the candidate. r never fails (it is a uarsa.Stream).
+func deterministicPrime(r io.Reader, bits int) *big.Int {
+	bytes := make([]byte, (bits+7)/8)
+	b := uint(bits % 8)
+	if b == 0 {
+		b = 8
+	}
+	p := new(big.Int)
+	for {
+		_, _ = io.ReadFull(r, bytes)
+		bytes[0] &= uint8(int(1<<b) - 1)
+		if b >= 2 {
+			bytes[0] |= 3 << (b - 2)
+		} else {
+			// b == 1: the second-highest bit lives in the next byte.
+			bytes[0] |= 1
+			if len(bytes) > 1 {
+				bytes[1] |= 0x80
+			}
+		}
+		bytes[len(bytes)-1] |= 1
+		p.SetBytes(bytes)
+		if p.ProbablyPrime(20) {
+			return p
+		}
+	}
+}
+
+// DeterministicSerial derives a positive 64-bit certificate serial as a
+// pure function of the label parts, mirroring the size Generate draws
+// from crypto/rand when Options.SerialNumber is nil.
+func DeterministicSerial(parts ...[]byte) *big.Int {
+	var b [8]byte
+	_, _ = uarsa.NewDerivation(parts...).Stream("serial").Read(b[:])
+	return new(big.Int).SetBytes(b[:])
 }
 
 // NewKeyFromPrimes constructs an RSA private key from explicit primes.

@@ -24,6 +24,14 @@
 // memoized RSA engine on those shared servers once, and every snapshot
 // — past and future — serves handshakes through it. The snapshot
 // itself holds no crypto state (DESIGN.md §4).
+//
+// Snapshots are also the unit the sharded campaign runtime (PR 5)
+// distributes over: scanner.RunWaveShard scans one slice of the
+// permuted probe space against a snapshot, any number of shards
+// concurrently against the same snapshot in-process — or against
+// independently materialized but byte-identical snapshots in worker
+// processes, since deploy.Materialize is a pure function of the spec
+// (DESIGN.md §5).
 package worldview
 
 import (

@@ -19,15 +19,18 @@ import (
 	"context"
 	"crypto/rand"
 	"crypto/rsa"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net/netip"
+	"slices"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/deploy"
+	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/scanner"
 	"repro/internal/simnet"
@@ -95,6 +98,31 @@ type CampaignConfig struct {
 	// analysis run inline after each wave instead of concurrently with
 	// the next wave's scan (benchmark baseline).
 	Sequential bool
+	// Shards splits every wave's permuted probe space into this many
+	// deterministic shards executed concurrently in-process (0 or 1 =
+	// unsharded). Each shard runs its own port-scan slice and grab pool
+	// of GrabWorkers workers — the single-process model of one worker
+	// machine per shard — and the merged wave is record-for-record
+	// identical to the unsharded run (scanner.MergeWaveShards). For the
+	// multi-process version of the same plan, see RunCampaignShard and
+	// cmd/measure's -shards/-shard/-merge flags.
+	Shards int
+	// RecordSink, if set, receives every record of the campaign in
+	// deterministic dataset order (wave by wave, as each wave is
+	// analyzed). The sink stays open: the caller owns it and closes it
+	// after the campaign returns. A sink error aborts the campaign —
+	// in-flight waves are cancelled (they surface in Campaign.Scans as
+	// Partial, per the cancellation contract) and the sink's error is
+	// returned.
+	RecordSink pipeline.RecordSink
+	// DiscardRecords skips retaining Campaign.RecordsByWave, the
+	// streaming-memory configuration for long campaigns: records flow
+	// to RecordSink (and through each wave's analysis) and are dropped.
+	// WriteDataset then has nothing to write — attach an EncoderSink
+	// instead. Note the retained Analyses still reference each wave's
+	// records; a fully flat consumer is pipeline.Analyzer with
+	// Retain=false.
+	DiscardRecords bool
 	// Anonymize applies the release anonymization to the stored records
 	// (the analysis runs before anonymization, like the paper's).
 	Anonymize bool
@@ -134,6 +162,73 @@ func (cfg CampaignConfig) progressf(format string, args ...any) {
 	}
 }
 
+// selectedWaves expands the wave selection (nil = all eight).
+func (cfg CampaignConfig) selectedWaves() []int {
+	if len(cfg.Waves) > 0 {
+		return cfg.Waves
+	}
+	waves := make([]int, len(deploy.WaveDates))
+	for i := range waves {
+		waves[i] = i
+	}
+	return waves
+}
+
+// newScannerBase builds the campaign's scanner template and installs
+// the campaign-scoped crypto suite on the world — the setup shared by
+// the single-process campaign and the multi-process shard workers.
+//
+// Campaign-scoped crypto reuse: one memoization engine for every wave
+// and every worker, installed on both sides of the simulated wire (the
+// scanner's clients here, the world's servers below), with
+// deterministic handshakes so unchanged hosts replay bit-identical
+// exchanges across waves and the engine actually hits (DESIGN.md §4).
+// The install is deliberately not undone at campaign end: concurrent
+// campaigns may share a world (last install wins), and uninstalling
+// here would yank another run's engine mid-flight. The engine stays
+// reachable from the world's servers until the next campaign replaces
+// it — a few MB at most; callers who keep a world alive without
+// further campaigns can release it with SetCrypto(nil, false).
+func (cfg CampaignConfig) newScannerBase(world *deploy.World) (scanner.Scanner, *uarsa.Suite, error) {
+	scanBits := 2048
+	if cfg.TestKeySizes {
+		scanBits = 512
+	}
+	// The identity is seeded: shard workers in other processes derive
+	// the same certificate, and reruns with one seed replay the same
+	// grab transcripts byte for byte.
+	key, cert, err := NewScannerIdentitySeeded(scanBits, cfg.Seed)
+	if err != nil {
+		return scanner.Scanner{}, nil, err
+	}
+
+	var suite *uarsa.Suite
+	if cfg.CryptoCache >= 0 {
+		suite = &uarsa.Suite{
+			Engine:        uarsa.NewEngine(cfg.CryptoCache),
+			Seed:          cfg.Seed,
+			Deterministic: true,
+		}
+	}
+	world.SetCrypto(suite.EngineOrNil(), suite != nil)
+
+	return scanner.Scanner{
+		Key:     key,
+		CertDER: cert.Raw,
+		Crypto:  suite,
+		Timeout: 30 * time.Second,
+		Walk: uaclient.WalkOptions{
+			// The paper's politeness limits with the inter-request delay
+			// zeroed (no real operators to protect in the simulation).
+			Delay:       0,
+			MaxDuration: 60 * time.Minute,
+			MaxBytes:    50 << 20,
+			MaxNodes:    10000,
+		},
+		ApplicationURI: "urn:repro:opcua:scanner",
+	}, suite, nil
+}
+
 // NewScannerIdentity generates the scanner's self-signed certificate,
 // with contact information in the subject as the paper recommends.
 func NewScannerIdentity(bits int) (*rsa.PrivateKey, *uacert.Certificate, error) {
@@ -141,11 +236,34 @@ func NewScannerIdentity(bits int) (*rsa.PrivateKey, *uacert.Certificate, error) 
 	if err != nil {
 		return nil, nil, fmt.Errorf("opcuastudy: scanner key: %w", err)
 	}
+	return scannerCert(key)
+}
+
+// NewScannerIdentitySeeded derives the scanner identity as a pure
+// function of (bits, seed): every rerun with one seed — and every
+// worker process of a sharded campaign — presents the identical
+// certificate, so grab transcripts and byte counts agree across
+// processes. Campaigns use this; NewScannerIdentity remains for callers
+// that want a fresh random identity.
+func NewScannerIdentitySeeded(bits int, seed int64) (*rsa.PrivateKey, *uacert.Certificate, error) {
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], uint64(seed))
+	key, err := uacert.DeterministicKey(bits, []byte("opcuastudy-scanner"), sb[:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("opcuastudy: scanner key: %w", err)
+	}
+	return scannerCert(key)
+}
+
+func scannerCert(key *rsa.PrivateKey) (*rsa.PrivateKey, *uacert.Certificate, error) {
 	cert, err := uacert.Generate(key, uacert.Options{
 		CommonName:     "research scanner - opt out at https://example.org/opcua-study",
 		Organization:   "Internet Measurement Research",
 		ApplicationURI: "urn:repro:opcua:scanner",
 		SignatureHash:  uacert.HashSHA256,
+		// The serial is derived from the public key, so a seeded
+		// identity yields one certificate byte for byte.
+		SerialNumber: uacert.DeterministicSerial([]byte("opcuastudy-scanner-serial"), key.N.Bytes()),
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("opcuastudy: scanner cert: %w", err)
@@ -197,59 +315,15 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaign, error) {
 // are absent from Scans. Campaign.Long is only computed on full
 // success.
 func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.World) (*Campaign, error) {
-	scanBits := 2048
-	if cfg.TestKeySizes {
-		scanBits = 512
-	}
-	key, cert, err := NewScannerIdentity(scanBits)
+	base, suite, err := cfg.newScannerBase(world)
 	if err != nil {
 		return nil, err
 	}
-
-	// Campaign-scoped crypto reuse: one memoization engine for every
-	// wave and every worker, installed on both sides of the simulated
-	// wire (the scanner's clients here, the world's servers below), with
-	// deterministic handshakes so unchanged hosts replay bit-identical
-	// exchanges across waves and the engine actually hits (DESIGN.md §4).
-	// The install is deliberately not undone at campaign end: concurrent
-	// campaigns may share a world (last install wins), and uninstalling
-	// here would yank another run's engine mid-flight. The engine stays
-	// reachable from the world's servers until the next campaign
-	// replaces it — a few MB at most; callers who keep a world alive
-	// without further campaigns can release it with SetCrypto(nil, false).
-	var suite *uarsa.Suite
-	if cfg.CryptoCache >= 0 {
-		suite = &uarsa.Suite{
-			Engine:        uarsa.NewEngine(cfg.CryptoCache),
-			Seed:          cfg.Seed,
-			Deterministic: true,
-		}
-	}
-	world.SetCrypto(suite.EngineOrNil(), suite != nil)
-
-	base := scanner.Scanner{
-		Key:     key,
-		CertDER: cert.Raw,
-		Crypto:  suite,
-		Timeout: 30 * time.Second,
-		Walk: uaclient.WalkOptions{
-			// The paper's politeness limits with the inter-request delay
-			// zeroed (no real operators to protect in the simulation).
-			Delay:       0,
-			MaxDuration: 60 * time.Minute,
-			MaxBytes:    50 << 20,
-			MaxNodes:    10000,
-		},
-		ApplicationURI: "urn:repro:opcua:scanner",
-	}
-
-	waves := cfg.Waves
-	if len(waves) == 0 {
-		waves = make([]int, len(deploy.WaveDates))
-		for i := range waves {
-			waves[i] = i
-		}
-	}
+	waves := cfg.selectedWaves()
+	// abort lets a record-sink failure cancel the rest of the campaign
+	// without waiting for every remaining wave to scan into a void.
+	ctx, abort := context.WithCancel(ctx)
+	defer abort()
 
 	c := &Campaign{
 		Config:        cfg,
@@ -283,31 +357,88 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 	}
 	cfg.progressf("materialized %d immutable wave views", len(views))
 
+	// The analysis side is a streaming fold: each wave's records stream
+	// through a WaveAccumulator (and into cfg.RecordSink, in dataset
+	// order) as they are converted, and every finalized WaveAnalysis is
+	// folded into the longitudinal accumulator immediately — the
+	// campaign never needs more than the in-flight waves in memory
+	// (with DiscardRecords, not even the past waves' records).
+	longAcc := core.NewLongitudinalAccumulator(false)
+	var sinkErr error
 	analyze := func(i int, wave *scanner.Wave) {
 		w, date := waves[i], deploy.WaveDates[waves[i]]
+		acc := core.NewWaveAccumulator(w, date)
 		var recs []*dataset.HostRecord
 		for _, res := range wave.OPCUAResults() {
-			recs = append(recs, dataset.FromResult(res, w, date, asnOf(views[i], res.Address)))
+			rec := dataset.FromResult(res, w, date, asnOf(views[i], res.Address))
+			acc.Add(rec)
+			if !cfg.DiscardRecords {
+				recs = append(recs, rec)
+			}
+			if cfg.RecordSink != nil && sinkErr == nil {
+				if sinkErr = cfg.RecordSink.Put(rec); sinkErr != nil {
+					abort()
+				}
+			}
 		}
-		c.RecordsByWave[w] = recs
-		analysis := core.AnalyzeWaveWorkers(w, date, recs, cfg.AnalyzeWorkers)
+		if !cfg.DiscardRecords {
+			c.RecordsByWave[w] = recs
+		}
+		analysis := acc.Finalize(cfg.AnalyzeWorkers)
 		c.Analyses = append(c.Analyses, analysis)
+		longAcc.AddWave(analysis)
 		cfg.progressf("wave %d: %d open ports, %d OPC UA hosts (%d servers, %d discovery), %.0f%% deficient",
-			w, wave.OpenPorts, len(recs), len(analysis.Servers), analysis.Discovery,
+			w, wave.OpenPorts, acc.Len(), len(analysis.Servers), analysis.Discovery,
 			100*analysis.DeficientFrac)
+	}
+	finish := func() (*Campaign, error) {
+		if sinkErr != nil {
+			return c, fmt.Errorf("opcuastudy: record sink: %w", sinkErr)
+		}
+		long := longAcc.Finalize()
+		long.Waves = c.Analyses
+		c.Long = long
+		return c, nil
 	}
 	scanOne := func(i int) (*scanner.Wave, error) {
 		w, date := waves[i], deploy.WaveDates[waves[i]]
 		cfg.progressf("wave %d (%s): scanning...", w, date.Format("2006-01-02"))
 		sc := base
 		sc.Dialer = views[i]
-		return scanner.RunWave(ctx, views[i], &sc, scanner.WaveConfig{
+		wcfg := scanner.WaveConfig{
 			Date:             date,
 			FollowReferences: w >= deploy.FollowReferencesFromWave,
 			GrabWorkers:      workers,
 			QueueSize:        cfg.QueueSize,
 			Barrier:          cfg.Barrier,
-		})
+		}
+		if cfg.Shards <= 1 {
+			return scanner.RunWave(ctx, views[i], &sc, wcfg)
+		}
+		// In-process sharding: every shard of the wave's plan runs
+		// concurrently against the shared immutable view, then the
+		// deterministic merge reassembles the unsharded wave. A
+		// cancelled shard yields a partial wave that merges cleanly;
+		// the first shard error is the wave's error.
+		plan := scanner.PlanWaveShards(views[i], cfg.Shards)
+		shardWaves := make([]*scanner.Wave, plan.Shards)
+		shardErrs := make([]error, plan.Shards)
+		var swg sync.WaitGroup
+		for s := 0; s < plan.Shards; s++ {
+			swg.Add(1)
+			go func(s int) {
+				defer swg.Done()
+				shardWaves[s], shardErrs[s] = scanner.RunWaveShard(ctx, views[i], &sc, wcfg, plan, s)
+			}(s)
+		}
+		swg.Wait()
+		merged := scanner.MergeWaveShards(shardWaves...)
+		for _, serr := range shardErrs {
+			if serr != nil {
+				return merged, serr
+			}
+		}
+		return merged, nil
 	}
 
 	if cfg.Sequential {
@@ -319,12 +450,17 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 				c.Scans[w] = wave
 			}
 			if err != nil {
+				if sinkErr != nil {
+					break // the cancellation was the sink abort
+				}
 				return c, fmt.Errorf("opcuastudy: wave %d: %w", w, err)
 			}
 			analyze(i, wave)
+			if sinkErr != nil {
+				break
+			}
 		}
-		c.Long = core.AnalyzeLongitudinal(c.Analyses)
-		return c, nil
+		return finish()
 	}
 
 	waveWorkers := cfg.WaveWorkers
@@ -396,11 +532,80 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 		analyze(i, out.wave)
 	}
 	wg.Wait()
+	if sinkErr != nil {
+		// The sink failure is the root cause; later waves' cancellation
+		// errors are its consequence.
+		return finish()
+	}
 	if firstErr != nil {
 		return c, firstErr
 	}
-	c.Long = core.AnalyzeLongitudinal(c.Analyses)
-	return c, nil
+	return finish()
+}
+
+// RunCampaignShard is the worker half of a multi-process campaign: it
+// executes shard `shard` of the deterministic per-wave plan
+// (scanner.PlanWaveShards with `shards` shards) for every selected
+// wave, in wave order, and streams the shard's records into sink —
+// no analysis, no retention. The coordinator merges the N workers'
+// wave-ordered streams (pipeline.MergeShardStreams) back into the
+// deterministic dataset order and analyzes the merged stream; world
+// materialization is deterministic per seed (deploy.Materialize), so
+// workers in separate processes observe the identical Internet and the
+// merged campaign is record-for-record the unsharded one.
+//
+// The sink stays open — the caller owns and closes it. On context
+// cancellation the in-flight wave's records are not emitted (a partial
+// wave must not masquerade as a complete shard stream); the error is
+// returned after whole waves already streamed.
+//
+// Two semantics differ from the single-process Campaign by design:
+// waves always stream in ascending wave order regardless of how
+// cfg.Waves is arranged (the merge requires wave-ordered streams, and
+// a longitudinal fold is only meaningful ascending), and a scanned
+// wave that yields zero OPC UA records is simply absent from the
+// stream — the merged analysis then skips it, exactly like
+// AnalyzeRecords/AnalyzeDataset skip empty waves when reproducing
+// figures from a released dataset.
+func RunCampaignShard(ctx context.Context, cfg CampaignConfig, world *deploy.World, shards, shard int, sink pipeline.RecordSink) error {
+	base, _, err := cfg.newScannerBase(world)
+	if err != nil {
+		return err
+	}
+	workers := cfg.GrabWorkers
+	if workers <= 0 {
+		workers = 32
+	}
+	waves := slices.Clone(cfg.selectedWaves())
+	slices.Sort(waves)
+	for _, w := range waves {
+		date := deploy.WaveDates[w]
+		view, err := world.SnapshotWave(w)
+		if err != nil {
+			return err
+		}
+		plan := scanner.PlanWaveShards(view, shards)
+		cfg.progressf("wave %d (%s): scanning shard %d/%d...",
+			w, date.Format("2006-01-02"), shard, plan.Shards)
+		sc := base
+		sc.Dialer = view
+		wave, err := scanner.RunWaveShard(ctx, view, &sc, scanner.WaveConfig{
+			Date:             date,
+			FollowReferences: w >= deploy.FollowReferencesFromWave,
+			GrabWorkers:      workers,
+			QueueSize:        cfg.QueueSize,
+			Barrier:          cfg.Barrier,
+		}, plan, shard)
+		if err != nil {
+			return fmt.Errorf("opcuastudy: wave %d shard %d: %w", w, shard, err)
+		}
+		for _, res := range wave.OPCUAResults() {
+			if err := sink.Put(dataset.FromResult(res, w, date, asnOf(view, res.Address))); err != nil {
+				return fmt.Errorf("opcuastudy: wave %d shard %d: sink: %w", w, shard, err)
+			}
+		}
+	}
+	return nil
 }
 
 func asnOf(view simnet.View, address string) int {
@@ -424,48 +629,91 @@ func (c *Campaign) LastWave() *core.WaveAnalysis {
 	return c.Analyses[len(c.Analyses)-1]
 }
 
-// WriteDataset streams all records as JSONL, anonymized if configured.
+// WriteDataset streams the retained records as JSONL in deterministic
+// wave order, anonymized if configured, one record at a time through a
+// pipeline.EncoderSink (no intermediate slice). A campaign run with
+// DiscardRecords retains nothing to write — attach an EncoderSink to
+// CampaignConfig.RecordSink instead.
 func (c *Campaign) WriteDataset(w io.Writer) error {
-	anon := dataset.NewAnonymizer()
-	var all []*dataset.HostRecord
+	sink := pipeline.NewEncoderSink(w, c.Config.Anonymize)
 	for wi := 0; wi < len(deploy.WaveDates); wi++ {
 		for _, rec := range c.RecordsByWave[wi] {
-			if c.Config.Anonymize {
-				cp := *rec
-				if rec.Cert != nil {
-					cc := *rec.Cert
-					cp.Cert = &cc
-				}
-				cp.Nodes = append([]dataset.NodeRecord(nil), rec.Nodes...)
-				cp.Endpoints = append([]dataset.EndpointRecord(nil), rec.Endpoints...)
-				anon.Anonymize(&cp)
-				all = append(all, &cp)
-				continue
+			if err := sink.Put(rec); err != nil {
+				return err
 			}
-			all = append(all, rec)
 		}
 	}
-	return dataset.Write(w, all)
+	return sink.Close()
 }
 
 // AnalyzeRecords rebuilds per-wave analyses from a loaded dataset
-// (cmd/reportgen's path: reproduce the figures from released data).
+// (cmd/reportgen's path: reproduce the figures from released data). It
+// folds each record into its wave's incremental accumulator — records
+// may arrive in any order — then finalizes the waves in order; for a
+// wave-ordered stream, pipeline.Analyzer does the same without holding
+// more than one wave.
 func AnalyzeRecords(recs []*dataset.HostRecord) ([]*core.WaveAnalysis, *core.Longitudinal) {
-	byWave := map[int][]*dataset.HostRecord{}
-	maxWave := 0
+	fold := newRecordFold()
 	for _, r := range recs {
-		byWave[r.Wave] = append(byWave[r.Wave], r)
-		if r.Wave > maxWave {
-			maxWave = r.Wave
-		}
+		fold.add(r)
 	}
+	return fold.finish()
+}
+
+// AnalyzeDataset streams a JSONL dataset through the incremental
+// accumulators record by record, never materializing the record slice.
+// Records may arrive in any order (released datasets are wave-ordered,
+// but nothing here depends on it).
+func AnalyzeDataset(r io.Reader) ([]*core.WaveAnalysis, *core.Longitudinal, error) {
+	fold := newRecordFold()
+	dec := dataset.NewDecoder(r)
+	for {
+		rec, err := dec.Decode()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		fold.add(rec)
+	}
+	analyses, long := fold.finish()
+	return analyses, long, nil
+}
+
+// recordFold is the order-tolerant accumulator map behind
+// AnalyzeRecords and AnalyzeDataset.
+type recordFold struct {
+	accs    map[int]*core.WaveAccumulator
+	maxWave int
+}
+
+func newRecordFold() *recordFold {
+	return &recordFold{accs: map[int]*core.WaveAccumulator{}}
+}
+
+func (f *recordFold) add(r *dataset.HostRecord) {
+	acc := f.accs[r.Wave]
+	if acc == nil {
+		acc = core.NewWaveAccumulator(r.Wave, r.Date)
+		f.accs[r.Wave] = acc
+	}
+	acc.Add(r)
+	if r.Wave > f.maxWave {
+		f.maxWave = r.Wave
+	}
+}
+
+func (f *recordFold) finish() ([]*core.WaveAnalysis, *core.Longitudinal) {
+	long := core.NewLongitudinalAccumulator(true)
 	var analyses []*core.WaveAnalysis
-	for w := 0; w <= maxWave; w++ {
-		if len(byWave[w]) == 0 {
+	for w := 0; w <= f.maxWave; w++ {
+		if f.accs[w] == nil {
 			continue
 		}
-		date := byWave[w][0].Date
-		analyses = append(analyses, core.AnalyzeWave(w, date, byWave[w]))
+		a := f.accs[w].Finalize(0)
+		analyses = append(analyses, a)
+		long.AddWave(a)
 	}
-	return analyses, core.AnalyzeLongitudinal(analyses)
+	return analyses, long.Finalize()
 }

@@ -5,7 +5,10 @@ import (
 	"context"
 	"errors"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/pipeline"
 )
 
 // The end-to-end fixture runs the paper's final measurement (wave 7)
@@ -123,10 +127,12 @@ func TestCampaignPipelineMatchesSequential(t *testing.T) {
 	}
 }
 
-// normalizeWallClock zeroes the two per-record fields that legitimately
+// normalizeWallClock zeroes the per-record fields that may legitimately
 // differ between otherwise identical campaign runs: Duration is wall
-// clock, and Bytes depends on the run's randomly generated scanner
-// certificate (DER integer lengths vary by a byte between identities).
+// clock, and Bytes depends on the scanner certificate (seeded and
+// therefore stable for same-seed runs since PR 5, but still zeroed so
+// configurations that legitimately alter transfer sizes — e.g. a
+// CryptoCache toggle — compare on measurement content only).
 // Everything else must match exactly for the byte-identical check.
 func normalizeWallClock(c *Campaign) {
 	for _, recs := range c.RecordsByWave {
@@ -698,5 +704,303 @@ func TestEndToEndReportRenders(t *testing.T) {
 		if csv := tbl.CSV(); !strings.Contains(csv, ",") {
 			t.Errorf("table %q CSV empty", tbl.Title)
 		}
+	}
+}
+
+// TestShardedCampaignByteIdentical is the PR 5 acceptance gate for the
+// sharded record pipeline: campaigns that shard every wave's permuted
+// probe space 1, 2 and 5 ways in-process — and 2 and 5 ways across
+// cmd/measure worker subprocesses merged by the coordinator — must
+// produce byte-identical datasets and identical WaveAnalysis/
+// Longitudinal output versus the unsharded single-process run. The
+// in-process variants share one world (thumbprints must agree by
+// construction); the subprocess variants rebuild the world per worker,
+// so they additionally prove the deterministic materialization. Run
+// under -race this also exercises the concurrent shard execution.
+func TestShardedCampaignByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded campaign equivalence skipped in -short mode")
+	}
+	cfg := CampaignConfig{
+		Seed:         2020,
+		Waves:        []int{6, 7},
+		TestKeySizes: true,
+		MaxHosts:     60,
+		NoiseProb:    1e-5,
+		GrabWorkers:  8,
+	}
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := RunCampaignOnWorld(context.Background(), cfg, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizeWallClock(baseline)
+	want := datasetBytes(t, baseline)
+
+	for _, shards := range []int{1, 2, 5} {
+		sharded := cfg
+		sharded.Shards = shards
+		run, err := RunCampaignOnWorld(context.Background(), sharded, world)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		normalizeWallClock(run)
+		if got := datasetBytes(t, run); !bytes.Equal(got, want) {
+			t.Errorf("shards=%d: dataset differs from unsharded (%d vs %d bytes)",
+				shards, len(got), len(want))
+		}
+		if !reflect.DeepEqual(run.Analyses, baseline.Analyses) {
+			t.Errorf("shards=%d: wave analyses differ from unsharded", shards)
+		}
+		if !reflect.DeepEqual(run.Long, baseline.Long) {
+			t.Errorf("shards=%d: longitudinal analysis differs from unsharded", shards)
+		}
+		for _, w := range cfg.Waves {
+			scan := run.Scans[w]
+			if scan == nil || scan.Partial {
+				t.Fatalf("shards=%d wave %d: scan missing or partial", shards, w)
+			}
+			if scan.OpenPorts != baseline.Scans[w].OpenPorts {
+				t.Errorf("shards=%d wave %d: open ports %d, want %d",
+					shards, w, scan.OpenPorts, baseline.Scans[w].OpenPorts)
+			}
+		}
+	}
+
+	// Subprocess round trip: the coordinator spawns one measure worker
+	// per shard (each materializing its own world from the seed) and
+	// merges their NDJSON streams.
+	bin := filepath.Join(t.TempDir(), "measure")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/measure").CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/measure: %v\n%s", err, out)
+	}
+	for _, shards := range []int{2, 5} {
+		merged := filepath.Join(t.TempDir(), "merged.jsonl")
+		cmd := exec.Command(bin,
+			"-shards", strconv.Itoa(shards),
+			"-seed", "2020", "-waves", "6,7", "-testkeys",
+			"-max-hosts", "60", "-noise", "1e-5", "-grab-workers", "8",
+			"-dataset", merged)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("coordinator (shards=%d): %v\n%s", shards, err, out)
+		}
+		f, err := os.Open(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := dataset.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			r.Duration, r.Bytes = 0, 0
+		}
+		var buf bytes.Buffer
+		if err := dataset.Write(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("shards=%d subprocess: merged dataset differs from unsharded (%d vs %d bytes)",
+				shards, buf.Len(), len(want))
+		}
+		analyses, long := AnalyzeRecords(recs)
+		wantAnalyses, wantLong := AnalyzeRecords(decodeDataset(t, want))
+		if !reflect.DeepEqual(analyses, wantAnalyses) {
+			t.Errorf("shards=%d subprocess: re-analyses differ", shards)
+		}
+		if !reflect.DeepEqual(long, wantLong) {
+			t.Errorf("shards=%d subprocess: longitudinal differs", shards)
+		}
+	}
+}
+
+func decodeDataset(t *testing.T, raw []byte) []*dataset.HostRecord {
+	t.Helper()
+	recs, err := dataset.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestShardedCampaignCancellation extends the cancellation contract to
+// in-process sharded waves: a cancellation mid-wave yields a partial
+// wave assembled from the shards' completed grabs (no analysis of the
+// partial wave, no deadlock, no poisoned merge).
+func TestShardedCampaignCancellation(t *testing.T) {
+	cfg := CampaignConfig{
+		Seed:         2020,
+		Waves:        []int{7},
+		TestKeySizes: true,
+		MaxHosts:     40,
+		NoiseProb:    1e-5,
+		GrabWorkers:  4,
+		Shards:       2,
+	}
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world.Net.SetLatency(25 * time.Millisecond)
+	defer world.Net.SetLatency(0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Progressf = func(format string, args ...any) {
+		if strings.Contains(format, "scanning") {
+			time.AfterFunc(150*time.Millisecond, cancel)
+		}
+	}
+	c, err := RunCampaignOnWorld(ctx, cfg, world)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	scan := c.Scans[7]
+	if scan == nil || !scan.Partial {
+		t.Fatalf("cancelled sharded wave: scan = %+v, want partial", scan)
+	}
+	if len(c.Analyses) != 0 {
+		t.Error("partial sharded wave was analyzed")
+	}
+	if c.Long != nil {
+		t.Error("longitudinal computed for a cancelled campaign")
+	}
+}
+
+// TestCampaignRecordSinkStreamsDataset pins the streaming sink contract:
+// records arrive at CampaignConfig.RecordSink in deterministic dataset
+// order (identical to WriteDataset), and DiscardRecords leaves the
+// compatibility view empty without changing the stream or the analyses.
+func TestCampaignRecordSinkStreamsDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign sink test skipped in -short mode")
+	}
+	cfg := CampaignConfig{
+		Seed:         2020,
+		Waves:        []int{6, 7},
+		TestKeySizes: true,
+		MaxHosts:     40,
+		NoiseProb:    1e-5,
+		GrabWorkers:  8,
+	}
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	sink := pipeline.NewEncoderSink(&streamed, false)
+	withSink := cfg
+	withSink.RecordSink = sink
+	c, err := RunCampaignOnWorld(context.Background(), withSink, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var written bytes.Buffer
+	if err := c.WriteDataset(&written); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), written.Bytes()) {
+		t.Errorf("sink stream (%d bytes) differs from WriteDataset (%d bytes)",
+			streamed.Len(), written.Len())
+	}
+
+	discard := cfg
+	discard.DiscardRecords = true
+	var streamed2 bytes.Buffer
+	sink2 := pipeline.NewEncoderSink(&streamed2, false)
+	discard.RecordSink = sink2
+	c2, err := RunCampaignOnWorld(context.Background(), discard, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.RecordsByWave) != 0 {
+		t.Errorf("DiscardRecords retained %d waves of records", len(c2.RecordsByWave))
+	}
+	normStream := func(raw []byte) []byte {
+		recs := decodeDataset(t, raw)
+		for _, r := range recs {
+			r.Duration, r.Bytes = 0, 0
+		}
+		var buf bytes.Buffer
+		if err := dataset.Write(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(normStream(streamed.Bytes()), normStream(streamed2.Bytes())) {
+		t.Error("DiscardRecords changed the record stream")
+	}
+	// The two runs' records differ only in wall-clock fields; zero them
+	// through the analyses (the discarded run has no RecordsByWave).
+	for _, run := range []*Campaign{c, c2} {
+		for _, a := range run.Analyses {
+			for _, r := range a.Records {
+				r.Duration, r.Bytes = 0, 0
+			}
+		}
+	}
+	if !reflect.DeepEqual(c.Analyses, c2.Analyses) {
+		t.Error("DiscardRecords changed the analyses")
+	}
+}
+
+// failingSink fails its second Put.
+type failingSink struct{ puts int }
+
+func (f *failingSink) Put(*dataset.HostRecord) error {
+	f.puts++
+	if f.puts >= 2 {
+		return errors.New("backend gone")
+	}
+	return nil
+}
+func (f *failingSink) Close() error { return nil }
+
+// TestCampaignRecordSinkErrorAborts pins the documented abort contract:
+// a failing RecordSink cancels the rest of the campaign (later waves
+// end Partial or never start) and the sink's error — not the derived
+// cancellation — is returned.
+func TestCampaignRecordSinkErrorAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign sink-abort test skipped in -short mode")
+	}
+	cfg := CampaignConfig{
+		Seed:         2020,
+		Waves:        []int{5, 6, 7},
+		TestKeySizes: true,
+		MaxHosts:     40,
+		NoiseProb:    1e-5,
+		GrabWorkers:  8,
+	}
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &failingSink{}
+	cfg.RecordSink = sink
+	c, err := RunCampaignOnWorld(context.Background(), cfg, world)
+	if err == nil || !strings.Contains(err.Error(), "backend gone") {
+		t.Fatalf("err = %v, want the sink's error", err)
+	}
+	if c == nil {
+		t.Fatal("aborted campaign is nil")
+	}
+	if c.Long != nil {
+		t.Error("longitudinal computed despite the sink abort")
+	}
+	// Wave 5's analysis completed before the abort; nothing after the
+	// failing Put may have been analyzed.
+	if len(c.Analyses) > 1 {
+		t.Errorf("%d waves analyzed after the sink failed", len(c.Analyses))
 	}
 }
