@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -135,8 +137,12 @@ func (p *parser) parseLine(line string) (string, *entry) {
 }
 
 // checkBudget compares fresh allocs/op against a committed budget file.
-// Returns the list of regressions (empty = pass).
-func checkBudget(fresh map[string]*entry, budgetPath string, tolerance float64) ([]string, error) {
+// Returns the list of regressions (empty = pass). Budget entries are
+// walked in sorted order so regression reports are byte-identical
+// across runs. When match is non-nil only entries it matches are
+// enforced; an enforced entry absent from the fresh output is itself a
+// regression — a budget that silently never runs is a disabled gate.
+func checkBudget(fresh map[string]*entry, budgetPath string, match *regexp.Regexp, tolerance float64) ([]string, error) {
 	raw, err := os.ReadFile(budgetPath)
 	if err != nil {
 		return nil, err
@@ -145,14 +151,25 @@ func checkBudget(fresh map[string]*entry, budgetPath string, tolerance float64) 
 	if err := json.Unmarshal(raw, &budget); err != nil {
 		return nil, fmt.Errorf("parsing %s: %w", budgetPath, err)
 	}
+	names := make([]string, 0, len(budget.Benchmarks))
+	for name := range budget.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var regressions []string
-	for name, want := range budget.Benchmarks {
+	for _, name := range names {
+		want := budget.Benchmarks[name]
+		if match != nil && !match.MatchString(name) {
+			// Out of this invocation's scope: the budget file records more
+			// benchmarks than any one CI step runs (campaign numbers
+			// alongside hot paths).
+			continue
+		}
 		got, ok := fresh[name]
 		if !ok {
-			// Not a failure — the budget file records more benchmarks than
-			// any one CI step runs (campaign numbers alongside hot paths) —
-			// but a silently skipped budget is a disabled gate, so say so.
-			fmt.Fprintf(os.Stderr, "benchjson: budget entry %q absent from fresh output (gate not exercised)\n", name)
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: referenced by %s but absent from fresh output (budget gate not exercised)",
+				name, budgetPath))
 			continue
 		}
 		if !got.hasAllocs {
@@ -174,9 +191,19 @@ func checkBudget(fresh map[string]*entry, budgetPath string, tolerance float64) 
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
-	budget := flag.String("budget", "", "BENCH_*.json to enforce allocs/op budgets against (exit 1 on regression)")
+	budget := flag.String("budget", "", "BENCH_*.json to enforce allocs/op budgets against (exit 1 on regression or on an enforced entry absent from input)")
+	budgetMatch := flag.String("budget-match", "", "regexp scoping which -budget entries this invocation enforces (default: all)")
 	tolerance := flag.Float64("tolerance", 1.25, "multiplicative slack for -budget comparisons")
 	flag.Parse()
+
+	var match *regexp.Regexp
+	if *budgetMatch != "" {
+		var err error
+		if match, err = regexp.Compile(*budgetMatch); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -budget-match: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	d := doc{
 		Schema:          "opcua-repro-bench/v1",
@@ -218,7 +245,7 @@ func main() {
 	}
 
 	if *budget != "" {
-		regressions, err := checkBudget(d.Benchmarks, *budget, *tolerance)
+		regressions, err := checkBudget(d.Benchmarks, *budget, match, *tolerance)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: budget check: %v\n", err)
 			os.Exit(1)

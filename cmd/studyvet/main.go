@@ -1,0 +1,148 @@
+// Command studyvet is the campaign's custom vettool. It statically
+// enforces the determinism, cache-ownership, hot-path allocation and
+// sink-cancellation invariants documented in DESIGN.md §6.
+//
+// Two modes:
+//
+//	go vet -vettool=$(pwd)/studyvet ./...   — unitchecker protocol,
+//	    driven by the go command one package at a time with export
+//	    data for dependencies (no network, no extra deps);
+//	studyvet ./...                          — standalone, loads
+//	    packages itself via go list -export.
+//
+// Diagnostics print as file:line:col: analyzer: message; any finding
+// exits non-zero so CI can gate on it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Unitchecker handshake: go vet probes the tool's version and flags
+	// before driving it with per-package config files.
+	for _, arg := range args {
+		if arg == "-V=full" || arg == "--V=full" {
+			fmt.Printf("%s version studyvet-1.0\n", os.Args[0])
+			return
+		}
+		if arg == "-flags" || arg == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(standalone(patterns))
+}
+
+// vetConfig mirrors the JSON the go command writes for -vettool
+// invocations (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "studyvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The protocol requires the facts file to exist even though the
+	// analyzers exchange none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("studyvet"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := lint.NewExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		goFiles = append(goFiles, f)
+	}
+	lp, err := lint.TypeCheck(fset, cfg.ImportPath, goFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "studyvet: %v\n", err)
+		return 1
+	}
+	return runOn([]*lint.LoadedPackage{lp})
+}
+
+func standalone(patterns []string) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	pkgs, err := lint.LoadPatterns(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "studyvet: %v\n", err)
+		return 1
+	}
+	return runOn(pkgs)
+}
+
+func runOn(pkgs []*lint.LoadedPackage) int {
+	cfg := lint.DefaultConfig()
+	analyzers := lint.Analyzers(cfg)
+	exit := 0
+	for _, lp := range pkgs {
+		diags, err := lint.RunAnalyzers(analyzers, lp.Fset, lp.Files, lp.Pkg, lp.Info, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "studyvet: %s: %v\n", lp.Path, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}

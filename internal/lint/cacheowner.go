@@ -1,0 +1,381 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CacheOwnerAnalyzer enforces DESIGN.md §3/§4 cache-ownership rules.
+//
+// Fields tagged //studyvet:owned (response caches, uarsa memo shards,
+// pooled buffers) may only be mutated from methods of the declaring
+// type, from a function whose body visibly takes the declared guard
+// mutex on the same receiver chain (//studyvet:owned mu names the
+// guard), or from a helper annotated //studyvet:locked whose contract
+// is that callers hold the guard.
+//
+// Pool acquire/release pairs (Config.Pools, e.g. uatypes's
+// AcquireEncoder/ReleaseEncoder) must balance on every return path:
+// a function that acquires must either defer the release or release
+// before each return statement reachable after the acquire.
+// //studyvet:owns-encoder exempts functions that transfer ownership
+// to their caller.
+func CacheOwnerAnalyzer(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "cacheowner",
+		Doc:  "owned cache fields mutate only under their owner; pool acquire/release balance on all paths",
+	}
+	a.Run = func(pass *Pass) error {
+		owned := collectOwnedFields(pass)
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if len(owned) > 0 {
+					checkOwnedMutations(pass, fd, owned)
+				}
+				checkPoolBalance(pass, cfg, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// ownedField records one //studyvet:owned annotation.
+type ownedField struct {
+	owner *types.Named
+	mutex string // optional guard field name ("" = owner methods only)
+}
+
+func collectOwnedFields(pass *Pass) map[*types.Var]ownedField {
+	owned := map[*types.Var]ownedField{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			def, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := def.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				d, ok := FieldDirective(field, DirOwned)
+				if !ok {
+					continue
+				}
+				mutex := ""
+				if len(d.Args) > 0 {
+					mutex = d.Args[0]
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						owned[v] = ownedField{owner: named, mutex: mutex}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return owned
+}
+
+func checkOwnedMutations(pass *Pass, fd *ast.FuncDecl, owned map[*types.Var]ownedField) {
+	recv := receiverNamed(pass.TypesInfo, fd)
+	lockedHelper := pass.FuncDirective(fd, DirLocked)
+
+	// lockBases[g] lists receiver-chain strings on which guard g is
+	// visibly taken in this function: "sh" for sh.mu.Lock().
+	lockBases := map[string][]string{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock" &&
+			sel.Sel.Name != "RLock" && sel.Sel.Name != "RUnlock") {
+			return true
+		}
+		guard, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		lockBases[guard.Sel.Name] = append(lockBases[guard.Sel.Name], exprString(guard.X))
+		return true
+	})
+
+	report := func(pos token.Pos, v *types.Var, base ast.Expr, of ownedField) {
+		if recv != nil && recv.Obj() == of.owner.Obj() {
+			return // method of the owning type
+		}
+		if lockedHelper || pass.ExemptAt(pos, DirLocked) {
+			return // //studyvet:locked: callers hold the guard (or the value is unpublished)
+		}
+		if of.mutex != "" {
+			baseStr := exprString(base)
+			for _, lb := range lockBases[of.mutex] {
+				if lb == baseStr {
+					return // guard visibly taken on the same chain
+				}
+			}
+		}
+		how := "from methods of " + of.owner.Obj().Name()
+		if of.mutex != "" {
+			how += " or while holding " + of.mutex
+		}
+		pass.Reportf(pos, "field %s.%s is //studyvet:owned: mutate it only %s",
+			of.owner.Obj().Name(), v.Name(), how)
+	}
+
+	// A mutation is an assignment/inc-dec/delete whose target selects an
+	// owned field anywhere along the chain (sh.cur, e.shards[i].cur = …,
+	// delete(sh.prev, k)).
+	checkTarget := func(pos token.Pos, e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if of, ok := owned[v]; ok {
+				report(pos, v, sel.X, of)
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkTarget(n.Pos(), lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(n.Pos(), n.X)
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "delete") && len(n.Args) > 0 {
+				checkTarget(n.Pos(), n.Args[0])
+			}
+		}
+		return true
+	})
+}
+
+// --- pool balance ---
+
+func checkPoolBalance(pass *Pass, cfg *Config, fd *ast.FuncDecl) {
+	if len(cfg.Pools) == 0 || pass.FuncDirective(fd, DirOwnsEncoder) {
+		return
+	}
+	// The declared function body and each function literal are separate
+	// balance scopes: a release inside a nested closure does not balance
+	// an acquire outside it (the closure may never run).
+	scopes := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			scopes = append(scopes, fl.Body)
+		}
+		return true
+	})
+	for _, pair := range cfg.Pools {
+		for _, scope := range scopes {
+			checkPoolScope(pass, pair, scope)
+		}
+	}
+}
+
+// callTo reports whether the node is a call to the named function
+// (types.Func.FullName match), excluding calls nested in inner
+// function literals when skipLits is set.
+func (p *Pass) callsIn(root ast.Node, full string, skipLits bool) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && skipLits && n != root {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := p.useObj(call.Fun)
+		if obj == nil {
+			return true
+		}
+		if fullName(obj) == full {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	return calls
+}
+
+func checkPoolScope(pass *Pass, pair PoolPair, scope *ast.BlockStmt) {
+	acquires := scopeCalls(pass, scope, pair.Acquire)
+	if len(acquires) == 0 {
+		return
+	}
+	releases := scopeCalls(pass, scope, pair.Release)
+
+	// A deferred release (directly, or inside a deferred closure)
+	// balances every path.
+	deferred := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // inner scopes checked separately
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if obj := pass.useObj(ds.Call.Fun); obj != nil && fullName(obj) == pair.Release {
+			deferred = true
+		}
+		if fl, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			if len(pass.callsIn(fl, pair.Release, false)) > 0 {
+				deferred = true
+			}
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+
+	short := pair.Acquire[strings.LastIndex(pair.Acquire, "/")+1:]
+	if len(releases) == 0 {
+		pass.Reportf(acquires[0].Pos(),
+			"%s is never released in this function: release it on every return path or defer the release",
+			short)
+		return
+	}
+
+	// No defer: every return statement after the first acquire must have
+	// a release on its path — a preceding sibling statement in its own
+	// block or any enclosing block up to the scope root.
+	firstAcq := acquires[0].Pos()
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < firstAcq {
+			return true
+		}
+		if !releasedBefore(pass, scope, ret, pair.Release) {
+			pass.Reportf(ret.Pos(),
+				"return without releasing the encoder acquired by %s at line %d (early-return leak: defer the release or release before returning)",
+				short, pass.Fset.Position(firstAcq).Line)
+		}
+		return true
+	})
+}
+
+// scopeCalls finds calls to the named function directly in scope (not
+// inside nested function literals).
+func scopeCalls(pass *Pass, scope *ast.BlockStmt, full string) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != scope {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.useObj(call.Fun)
+		if obj != nil && fullName(obj) == full {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	return calls
+}
+
+// releasedBefore reports whether a release call appears in a statement
+// preceding ret within ret's own statement list or any enclosing list
+// inside scope — i.e. the release dominates the return textually.
+// Releases inside sibling branches (an if-arm the path did not take)
+// do not count, which is exactly what catches early-return leaks.
+func releasedBefore(pass *Pass, scope *ast.BlockStmt, ret *ast.ReturnStmt, release string) bool {
+	// Build the chain of statement lists from scope down to ret.
+	type level struct {
+		list []ast.Stmt
+		idx  int // index of the statement containing (or being) ret
+	}
+	var path []level
+	var build func(list []ast.Stmt) bool
+	containsPos := func(s ast.Stmt) bool {
+		return s.Pos() <= ret.Pos() && ret.End() <= s.End()
+	}
+	build = func(list []ast.Stmt) bool {
+		for i, s := range list {
+			if !containsPos(s) {
+				continue
+			}
+			path = append(path, level{list: list, idx: i})
+			if s == ast.Stmt(ret) {
+				return true
+			}
+			found := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					if build(n.List) {
+						found = true
+						return false
+					}
+				case *ast.CaseClause:
+					if build(n.Body) {
+						found = true
+						return false
+					}
+				case *ast.CommClause:
+					if build(n.Body) {
+						found = true
+						return false
+					}
+				case *ast.FuncLit:
+					return false
+				}
+				return true
+			})
+			return found
+		}
+		return false
+	}
+	if !build(scope.List) {
+		return false
+	}
+	for _, lv := range path {
+		for _, s := range lv.list[:lv.idx] {
+			if len(pass.callsIn(s, release, true)) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //studyvet: comment. The syntax is
+//
+//	//studyvet:name arg... — free-form rationale
+//
+// (no space between // and studyvet, the Go directive-comment
+// convention gofmt preserves). Everything after "—" or "--" is a
+// human rationale and is not parsed into Args.
+type Directive struct {
+	Name string
+	Args []string
+	Pos  token.Pos
+}
+
+// Directive names.
+const (
+	// DirHotPath marks a function whose body must not allocate
+	// (hotpath analyzer).
+	DirHotPath = "hotpath"
+	// DirOwned marks a struct field as cache-owner protected; an
+	// optional argument names the sibling mutex that guards it.
+	DirOwned = "owned"
+	// DirEntropyExempt sanctions entropy or clock use in a
+	// deterministic-path function or declaration.
+	DirEntropyExempt = "entropy-exempt"
+	// DirOrdered sanctions a map-range loop whose output order is
+	// handled (sorted later or order-independent).
+	DirOrdered = "ordered"
+	// DirAllocOK sanctions one allocating statement inside a hot path
+	// (error paths that only allocate when failing).
+	DirAllocOK = "alloc-ok"
+	// DirSinkExempt sanctions a RecordSink producer that deliberately
+	// runs without a context (synchronous in-memory replay).
+	DirSinkExempt = "sink-exempt"
+	// DirLocked marks a helper whose callers hold the mutex guarding
+	// the owned fields it mutates (e.g. uarsa's insertLocked).
+	DirLocked = "locked"
+	// DirOwnsEncoder marks a function that transfers pooled-encoder
+	// ownership to its caller instead of releasing.
+	DirOwnsEncoder = "owns-encoder"
+)
+
+const directivePrefix = "//studyvet:"
+
+// parseDirective parses one comment, or returns false.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return Directive{}, false
+	}
+	body := strings.TrimPrefix(c.Text, directivePrefix)
+	for _, sep := range []string{"—", "--"} {
+		if i := strings.Index(body, sep); i >= 0 {
+			body = body[:i]
+		}
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	return Directive{Name: fields[0], Args: fields[1:], Pos: c.Pos()}, true
+}
+
+// directiveIndex looks directives up by file line, so both
+// end-of-line and line-above placements resolve against any node.
+type directiveIndex struct {
+	fset   *token.FileSet
+	byLine map[string]map[int][]Directive
+}
+
+func indexDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{fset: fset, byLine: map[string]map[int][]Directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := idx.byLine[pos.Filename]
+				if m == nil {
+					m = map[int][]Directive{}
+					idx.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], d)
+			}
+		}
+	}
+	return idx
+}
+
+// at returns the directives attached to pos: on the same line or the
+// line immediately above.
+func (idx *directiveIndex) at(pos token.Pos, name string) bool {
+	p := idx.fset.Position(pos)
+	m := idx.byLine[p.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range m[line] {
+			if d.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ExemptAt reports whether a directive of the given name sits on the
+// node's line or the line immediately above it.
+func (p *Pass) ExemptAt(pos token.Pos, name string) bool {
+	return p.directives.at(pos, name)
+}
+
+// commentGroupDirective scans a doc/comment group for a directive.
+func commentGroupDirective(cg *ast.CommentGroup, name string) (Directive, bool) {
+	if cg == nil {
+		return Directive{}, false
+	}
+	for _, c := range cg.List {
+		if d, ok := parseDirective(c); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FuncDirective reports whether the function's doc comment carries the
+// named directive.
+func (p *Pass) FuncDirective(fd *ast.FuncDecl, name string) bool {
+	_, ok := commentGroupDirective(fd.Doc, name)
+	return ok
+}
+
+// FieldDirective returns the named directive from a struct field's doc
+// or trailing comment.
+func FieldDirective(field *ast.Field, name string) (Directive, bool) {
+	if d, ok := commentGroupDirective(field.Doc, name); ok {
+		return d, true
+	}
+	return commentGroupDirective(field.Comment, name)
+}
+
+// declExempt reports whether the declaration enclosing a top-level
+// node carries the directive (FuncDecl doc, GenDecl doc, or the
+// ValueSpec's own doc/comment).
+func declExempt(decl ast.Decl, name string) bool {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if _, ok := commentGroupDirective(d.Doc, name); ok {
+			return true
+		}
+	case *ast.GenDecl:
+		if _, ok := commentGroupDirective(d.Doc, name); ok {
+			return true
+		}
+		for _, spec := range d.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				if _, ok := commentGroupDirective(vs.Doc, name); ok {
+					return true
+				}
+				if _, ok := commentGroupDirective(vs.Comment, name); ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

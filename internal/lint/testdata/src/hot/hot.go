@@ -1,0 +1,57 @@
+// Package hot exercises the hotpath analyzer.
+package hot
+
+import "fmt"
+
+// Sink receives boxed values.
+type Sink interface{ Accept(v any) }
+
+type payload struct{ a, b int }
+
+//studyvet:hotpath — golden
+func fmtInHot(err error) error {
+	return fmt.Errorf("wrap: %w", err) // want "fmt.Errorf in hot path fmtInHot allocates"
+}
+
+//studyvet:hotpath — golden
+func exemptFmt(err error) error {
+	//studyvet:alloc-ok — failure path
+	return fmt.Errorf("wrap: %w", err)
+}
+
+//studyvet:hotpath — golden
+func concatLoop(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p // want "string \+= in a loop inside hot path concatLoop"
+	}
+	return out
+}
+
+//studyvet:hotpath — golden
+func concatBinary(parts []string) []string {
+	var out []string
+	for _, p := range parts {
+		out = append(out, "x"+p) // want "string concatenation in a loop inside hot path concatBinary"
+	}
+	return out
+}
+
+//studyvet:hotpath — golden
+func closureInHot(xs []int) int {
+	f := func(x int) int { return x * 2 } // want "closure in hot path closureInHot allocates per evaluation"
+	total := 0
+	for _, x := range xs {
+		total += f(x)
+	}
+	return total
+}
+
+//studyvet:hotpath — golden
+func boxing(s Sink) {
+	p := payload{1, 2}
+	s.Accept(p)  // want "p boxes a hot.payload value into an interface in hot path boxing"
+	s.Accept(&p) // pointer: no box
+}
+
+func coldPath() string { return fmt.Sprintf("cold paths may format freely") }

@@ -1,0 +1,16 @@
+// Package orderonly is NOT in the deterministic-package allowlist: the
+// entropy/clock rules must stay silent here, but the map-iteration
+// order rule applies to every analyzed package.
+package orderonly
+
+import "time"
+
+func clockOK() time.Time { return time.Now() }
+
+func leak(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "append to out inside a map range"
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+// Package owner exercises the cacheowner analyzer: //studyvet:owned
+// field mutations and pool acquire/release balance (the test Config
+// registers owner.Acquire/owner.Release as a pool pair).
+package owner
+
+import (
+	"errors"
+	"sync"
+)
+
+// Buf is the pooled resource.
+type Buf struct{ b []byte }
+
+var pool sync.Pool
+
+// Acquire takes a pooled buffer.
+func Acquire() *Buf {
+	if v := pool.Get(); v != nil {
+		return v.(*Buf)
+	}
+	return &Buf{}
+}
+
+// Release returns a buffer to the pool.
+func Release(b *Buf) { pool.Put(b) }
+
+// Cache is a mutex-guarded cache with an owned entries map.
+type Cache struct {
+	mu sync.Mutex
+	//studyvet:owned mu — golden
+	entries map[string]int
+	plain   int // unowned: mutable from anywhere
+}
+
+// Set is an owner method: allowed without further ceremony.
+func (c *Cache) Set(k string, v int) {
+	c.mu.Lock()
+	c.entries[k] = v
+	c.mu.Unlock()
+}
+
+func outsideMutation(c *Cache) {
+	c.entries["x"] = 1 // want "field Cache.entries is //studyvet:owned"
+	c.plain = 2
+}
+
+func lockedMutation(c *Cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries["x"] = 1 // guard visibly taken on the same chain: allowed
+}
+
+// resetLocked mutates under the caller's lock.
+//
+//studyvet:locked — golden: callers hold c.mu
+func resetLocked(c *Cache) {
+	c.entries = map[string]int{}
+}
+
+func deleteOutside(c *Cache) {
+	delete(c.entries, "x") // want "field Cache.entries is //studyvet:owned"
+}
+
+var errFail = errors.New("fail")
+
+func use(*Buf) {}
+
+func balancedDefer() {
+	b := Acquire()
+	defer Release(b)
+	use(b)
+}
+
+func earlyReturnLeak(fail bool) error {
+	b := Acquire()
+	if fail {
+		return errFail // want "return without releasing"
+	}
+	Release(b)
+	return nil
+}
+
+func neverReleased() {
+	b := Acquire() // want "owner.Acquire is never released in this function"
+	use(b)
+}
+
+// transfer hands the acquired buffer to its caller.
+//
+//studyvet:owns-encoder — golden: ownership transfers to the caller
+func transfer() *Buf {
+	return Acquire()
+}
+
+func inlineRelease(fail bool) error {
+	b := Acquire()
+	use(b)
+	Release(b)
+	if fail {
+		return errFail
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+// Package pipeline is a miniature of the real record pipeline, for the
+// sinkctx golden tests (the test Config.SinkPkg points here).
+package pipeline
+
+// Record is one streamed record.
+type Record struct{ ID int }
+
+// RecordSink consumes a stream of records.
+type RecordSink interface {
+	Put(*Record) error
+	Close() error
+}
+
+// ChanSink fans concurrent producers into one drain goroutine.
+type ChanSink struct {
+	downstream RecordSink
+	ch         chan *Record
+	done       chan struct{}
+}
+
+// NewChanSink starts the single drain goroutine.
+func NewChanSink(downstream RecordSink, buffer int) *ChanSink {
+	s := &ChanSink{downstream: downstream, ch: make(chan *Record, buffer), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		for r := range s.ch {
+			_ = s.downstream.Put(r)
+		}
+	}()
+	return s
+}
+
+// Put enqueues one record.
+func (s *ChanSink) Put(r *Record) error { s.ch <- r; return nil }
+
+// Close drains and closes the downstream.
+func (s *ChanSink) Close() error {
+	close(s.ch)
+	<-s.done
+	return s.downstream.Close()
+}
+
+func badLocalConstruction() *ChanSink {
+	return &ChanSink{} // want "construct ChanSink with NewChanSink"
+}

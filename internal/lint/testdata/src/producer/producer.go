@@ -1,0 +1,60 @@
+// Package producer exercises the sinkctx producer rules against the
+// fake pipeline package.
+package producer
+
+import (
+	"context"
+
+	"pipeline"
+)
+
+func noCtx(s pipeline.RecordSink, recs []*pipeline.Record) error {
+	for _, r := range recs {
+		if err := s.Put(r); err != nil { // want "noCtx produces into a RecordSink but takes no context.Context"
+			return err
+		}
+	}
+	return nil
+}
+
+func ctxUnused(ctx context.Context, s pipeline.RecordSink, recs []*pipeline.Record) error {
+	for _, r := range recs {
+		if err := s.Put(r); err != nil { // want "ctxUnused produces into a RecordSink without consulting its context"
+			return err
+		}
+	}
+	return nil
+}
+
+func ctxChecked(ctx context.Context, s pipeline.RecordSink, recs []*pipeline.Record) error {
+	for _, r := range recs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.Put(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replay re-encodes retained records synchronously; there is no
+// upstream producer to cancel.
+//
+//studyvet:sink-exempt — golden: sanctioned synchronous replay
+func replay(s pipeline.RecordSink, recs []*pipeline.Record) error {
+	for _, r := range recs {
+		if err := s.Put(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func construct() *pipeline.ChanSink {
+	return &pipeline.ChanSink{} // want "construct ChanSink with NewChanSink"
+}
+
+func constructOK(down pipeline.RecordSink) *pipeline.ChanSink {
+	return pipeline.NewChanSink(down, 8)
+}

@@ -2,12 +2,14 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -219,6 +221,66 @@ func TestChanSinkDownstreamError(t *testing.T) {
 	}
 	if !fs.closed {
 		t.Error("downstream not closed")
+	}
+}
+
+// TestChanSinkFanInErrorAndCancel drives the full DESIGN.md §5 fan-in
+// contract under the race detector: cancellation-aware concurrent
+// producers, a downstream that starts failing mid-stream, and a caller
+// cancelling the context while producers are in flight. Every producer
+// must exit promptly (via ctx or a Put error — never wedged on a full
+// buffer), Close must surface the downstream error, and the ChanSink
+// must still close its downstream.
+func TestChanSinkFanInErrorAndCancel(t *testing.T) {
+	fs := &failSink{ok: 25}
+	sink := NewChanSink(fs, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const producers, each = 8, 200
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := sink.Put(synthRecord(0, p*each+i, "portscan", 0)); err != nil {
+					return
+				}
+				delivered.Add(1)
+			}
+		}(p)
+	}
+
+	// Wait until the downstream failure has definitely triggered (it
+	// fails on put 26, so at least 25 successful enqueues precede it),
+	// then cancel the remaining producers mid-flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for delivered.Load() < 20 {
+		if time.Now().After(deadline) {
+			t.Fatal("producers never reached the downstream failure point")
+		}
+		runtime.Gosched()
+	}
+	cancel()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("producers wedged: neither cancellation nor the failed intake unblocked Put")
+	}
+
+	if err := sink.Close(); err == nil {
+		t.Error("downstream failure not surfaced at Close")
+	}
+	if !fs.closed {
+		t.Error("downstream not closed after fan-in failure")
 	}
 }
 

@@ -6,8 +6,8 @@ package report
 
 import (
 	"fmt"
-	"strconv"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"

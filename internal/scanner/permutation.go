@@ -69,6 +69,7 @@ func (p *Permutation) round(half uint64, round uint) uint64 {
 	return h & p.halfMask
 }
 
+//studyvet:hotpath — At's inner loop body
 func (p *Permutation) feistel(x uint64) uint64 {
 	l := x >> p.halfBits
 	r := x & p.halfMask
@@ -81,6 +82,8 @@ func (p *Permutation) feistel(x uint64) uint64 {
 // At maps index i to its permuted position. i must be < N. At performs
 // no heap allocations (the port-scan probe path relies on this;
 // TestPermutationAtAllocFree gates it).
+//
+//studyvet:hotpath — called once per probed address (4B calls in a full scan)
 func (p *Permutation) At(i uint64) uint64 {
 	if p.n == 0 {
 		return 0

@@ -65,6 +65,7 @@ func RunWaveShard(ctx context.Context, nw simnet.View, sc *Scanner, cfg WaveConf
 // index range, then grabs with follow-ups. RunWave passes the full
 // range; RunWaveShard passes its plan slice.
 func runWaveRange(ctx context.Context, nw simnet.View, sc *Scanner, cfg WaveConfig, lo, hi uint64) (*Wave, error) {
+	//studyvet:entropy-exempt — Wave.Duration is operational telemetry, excluded from shard-merge equivalence
 	start := time.Now()
 	if cfg.GrabWorkers <= 0 {
 		cfg.GrabWorkers = 32
@@ -75,6 +76,7 @@ func runWaveRange(ctx context.Context, nw simnet.View, sc *Scanner, cfg WaveConf
 	open, err := PortScanRange(ctx, nw, cfg.PortScan, lo, hi)
 	if err != nil {
 		return &Wave{Date: cfg.Date, OpenPorts: len(open), Partial: true,
+			//studyvet:entropy-exempt — telemetry on the failure path
 			Duration: time.Since(start)}, fmt.Errorf("scanner: port scan: %w", err)
 	}
 	wave := &Wave{Date: cfg.Date, OpenPorts: len(open)}
@@ -99,7 +101,7 @@ func runWaveRange(ctx context.Context, nw simnet.View, sc *Scanner, cfg WaveConf
 	sortResults(wave.Results)
 	err = ctx.Err()
 	wave.Partial = err != nil
-	wave.Duration = time.Since(start)
+	wave.Duration = time.Since(start) //studyvet:entropy-exempt — telemetry
 	return wave, err
 }
 

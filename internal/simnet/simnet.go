@@ -268,14 +268,21 @@ func (n *Network) Unregister(ip netip.Addr, port int) {
 	delete(n.hosts, netip.AddrPortFrom(ip, uint16(port)))
 }
 
-// Hosts returns a snapshot of all registered hosts.
+// Hosts returns a snapshot of all registered hosts, sorted by IP then
+// port so snapshots are stable across runs.
 func (n *Network) Hosts() []*Host {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
 	out := make([]*Host, 0, len(n.hosts))
 	for _, h := range n.hosts {
 		out = append(out, h)
 	}
+	n.mu.RUnlock()
+	slices.SortFunc(out, func(a, b *Host) int {
+		if c := a.IP.Compare(b.IP); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Port, b.Port)
+	})
 	return out
 }
 
@@ -371,14 +378,16 @@ func (n *Network) NoiseModel() Noise { return Noise{Prob: n.noiseProb, Seed: n.n
 // Latency returns the artificial dial latency.
 func (n *Network) Latency() time.Duration { return n.latency }
 
-// ExcludedIPs returns a copy of the opt-out list.
+// ExcludedIPs returns a copy of the opt-out list, sorted by address so
+// downstream blocklist construction is order-independent.
 func (n *Network) ExcludedIPs() []netip.Addr {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
 	out := make([]netip.Addr, 0, len(n.excludedIPs))
 	for ip := range n.excludedIPs {
 		out = append(out, ip)
 	}
+	n.mu.RUnlock()
+	slices.SortFunc(out, netip.Addr.Compare)
 	return out
 }
 

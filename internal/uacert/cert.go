@@ -249,6 +249,7 @@ func Generate(key *rsa.PrivateKey, opts Options) (*Certificate, error) {
 	}
 	serial := opts.SerialNumber
 	if serial == nil {
+		//studyvet:entropy-exempt — fallback for ad-hoc certs; campaign certs always pass a derived SerialNumber
 		serial, err = rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 64))
 		if err != nil {
 			return nil, fmt.Errorf("uacert: serial: %w", err)
@@ -313,6 +314,7 @@ func Generate(key *rsa.PrivateKey, opts Options) (*Certificate, error) {
 	}
 	h := opts.SignatureHash.CryptoHash().New()
 	h.Write(tbsDER)
+	//studyvet:entropy-exempt — PKCS#1 v1.5 signing is deterministic; the rand.Reader argument is unused by the stdlib for signatures
 	sig, err := rsa.SignPKCS1v15(rand.Reader, signKey, opts.SignatureHash.CryptoHash(), h.Sum(nil))
 	if err != nil {
 		return nil, fmt.Errorf("uacert: sign: %w", err)

@@ -62,6 +62,7 @@ func (p *KeyPool) generate(bits, idx int) *rsa.PrivateKey {
 	if p.gen != nil {
 		return p.gen(bits, idx)
 	}
+	//studyvet:entropy-exempt — default generator for ad-hoc pools; deterministic campaigns install p.gen (DeterministicKey above)
 	key, err := rsa.GenerateKey(rand.Reader, bits)
 	if err != nil {
 		panic(fmt.Sprintf("uacert: generating %d-bit key: %v", bits, err))
@@ -160,6 +161,8 @@ func DeterministicKey(bits int, parts ...[]byte) (*rsa.PrivateKey, error) {
 // two bits set (so a product of two halves never comes up a bit short)
 // and the low bit set; ProbablyPrime(20) is a deterministic predicate
 // of the candidate. r never fails (it is a uarsa.Stream).
+//
+//studyvet:entropy-exempt — the prime search draws only from the labeled uarsa stream passed in; there is no ambient entropy here
 func deterministicPrime(r io.Reader, bits int) *big.Int {
 	bytes := make([]byte, (bits+7)/8)
 	b := uint(bits % 8)
@@ -224,6 +227,8 @@ func NewKeyFromPrimes(p, q *big.Int) (*rsa.PrivateKey, error) {
 }
 
 // GeneratePrime returns a random prime of the given bit size.
+//
+//studyvet:entropy-exempt — random by contract; weak-key injection on the deterministic path uses deterministicPrime instead
 func GeneratePrime(bits int) (*big.Int, error) {
 	return rand.Prime(rand.Reader, bits)
 }

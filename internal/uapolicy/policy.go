@@ -208,6 +208,7 @@ func (p *Policy) NonceFrom(r io.Reader) []byte {
 		return nil
 	}
 	if r == nil {
+		//studyvet:entropy-exempt — fallback for interactive use; deterministic handshakes always pass a labeled uarsa.Stream
 		r = rand.Reader
 	}
 	b := make([]byte, p.nonceLength)
@@ -234,6 +235,7 @@ func (cc CryptoContext) rand() io.Reader {
 	if cc.Rand != nil {
 		return cc.Rand
 	}
+	//studyvet:entropy-exempt — legacy zero-value behavior; campaign contexts always set Rand to a uarsa stream
 	return rand.Reader
 }
 
@@ -504,10 +506,13 @@ func (p *Policy) AsymDecryptCtx(cc CryptoContext, key *rsa.PrivateKey, data []by
 		block := data[off : off+k]
 		switch p.asymEnc {
 		case encPKCS1v15:
+			//studyvet:entropy-exempt — RSA blinding source only; the decrypted plaintext is a pure function of the ciphertext
 			pt, err = rsa.DecryptPKCS1v15(rand.Reader, key, block)
 		case encOAEPSHA1:
+			//studyvet:entropy-exempt — RSA blinding source only; the decrypted plaintext is a pure function of the ciphertext
 			pt, err = rsa.DecryptOAEP(sha1.New(), rand.Reader, key, block, nil)
 		case encOAEPSHA256:
+			//studyvet:entropy-exempt — RSA blinding source only; the decrypted plaintext is a pure function of the ciphertext
 			pt, err = rsa.DecryptOAEP(sha256.New(), rand.Reader, key, block, nil)
 		default:
 			return nil, ErrNoCrypto

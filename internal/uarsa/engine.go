@@ -114,6 +114,7 @@ func Digest(parts ...[]byte) [32]byte {
 // maps without a per-lookup allocation.
 type cacheKey [2 + 32 + 32]byte
 
+//studyvet:hotpath — one cache key per RSA operation; the fixed-size array keeps lookups allocation-free
 func makeKey(op Op, scheme uint8, fp Fingerprint, digest [32]byte) cacheKey {
 	var k cacheKey
 	k[0] = byte(op)
@@ -125,7 +126,8 @@ func makeKey(op Op, scheme uint8, fp Fingerprint, digest [32]byte) cacheKey {
 
 // shard is one lock-striped two-generation map.
 type shard struct {
-	mu        sync.Mutex
+	mu sync.Mutex
+	//studyvet:owned mu — generation maps mutate only under mu (Get promotion, Put insert, rotation)
 	cur, prev map[cacheKey][]byte
 }
 
@@ -176,6 +178,7 @@ func NewEngine(maxEntries int) *Engine {
 	}
 	e := &Engine{shardCap: capPerShard}
 	for i := range e.shards {
+		//studyvet:locked — construction: the engine is unpublished, nothing else can hold mu yet
 		e.shards[i].cur = make(map[cacheKey][]byte)
 	}
 	return e
@@ -189,6 +192,8 @@ func (e *Engine) shardFor(k *cacheKey) *shard {
 
 // insertLocked adds k→v to the current generation, rotating generations
 // when the current one is full. Callers hold sh.mu.
+//
+//studyvet:locked — callers hold sh.mu (Get and Put lock before calling)
 func (e *Engine) insertLocked(sh *shard, k cacheKey, v []byte) {
 	if _, ok := sh.cur[k]; ok {
 		return
@@ -211,6 +216,8 @@ func (e *Engine) insertLocked(sh *shard, k cacheKey, v []byte) {
 
 // Get looks a memoized result up. The returned slice is shared: callers
 // must not modify it.
+//
+//studyvet:hotpath — every RSA operation in a full-fidelity wave passes through here
 func (e *Engine) Get(op Op, scheme uint8, fp Fingerprint, digest [32]byte) ([]byte, bool) {
 	if e == nil {
 		return nil, false
@@ -242,6 +249,8 @@ func (e *Engine) Get(op Op, scheme uint8, fp Fingerprint, digest [32]byte) ([]by
 // caller must not modify it afterwards. Concurrent Puts for the same
 // key are benign — with the deterministic handshake streams both
 // goroutines computed identical bytes.
+//
+//studyvet:hotpath — cache-miss completion path
 func (e *Engine) Put(op Op, scheme uint8, fp Fingerprint, digest [32]byte, v []byte) {
 	if e == nil {
 		return
@@ -312,4 +321,6 @@ func (e *Engine) Stats() Stats {
 // exchange is bit-identical in every wave. Nothing in the measurement
 // pipeline reads OPN timestamps; dataset record times come from the
 // wave schedule.
+//
+//studyvet:entropy-exempt — the sanctioned clock constant itself; a fixed date, not a wall-clock read
 var Epoch = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)

@@ -165,6 +165,8 @@ type sealOpts struct {
 // chunks). prefix is everything between the message header and the
 // sequence header (channel/token ids plus, for OPN, the asymmetric
 // security header). dst holds the full wire frame on success.
+//
+//studyvet:hotpath — per-chunk on every message both directions; BenchmarkSymEncryptSign budgets its allocs
 func seal(dst *uatypes.Encoder, msgType string, chunkFlag byte, prefix, seqHdr, body []byte, o sealOpts) error {
 	dst.Reset()
 
@@ -221,7 +223,7 @@ func seal(dst *uatypes.Encoder, msgType string, chunkFlag byte, prefix, seqHdr, 
 			sig, err = o.policy.SymSign(o.symKeys, dst.Bytes())
 		}
 		if err != nil {
-			return fmt.Errorf("uasc: signing chunk: %w", err)
+			return fmt.Errorf("uasc: signing chunk: %w", err) //studyvet:alloc-ok — failure path
 		}
 		dst.WriteRaw(sig)
 	}
@@ -230,18 +232,18 @@ func seal(dst *uatypes.Encoder, msgType string, chunkFlag byte, prefix, seqHdr, 
 		if o.encryptKey != nil {
 			ct, err := o.policy.AsymEncryptCtx(o.encCC, o.encryptKey, secured)
 			if err != nil {
-				return fmt.Errorf("uasc: encrypting chunk: %w", err)
+				return fmt.Errorf("uasc: encrypting chunk: %w", err) //studyvet:alloc-ok — failure path
 			}
 			dst.Truncate(securedStart)
 			dst.WriteRaw(ct)
 		} else {
 			if err := o.policy.SymEncrypt(o.symKeys, secured); err != nil {
-				return fmt.Errorf("uasc: encrypting chunk: %w", err)
+				return fmt.Errorf("uasc: encrypting chunk: %w", err) //studyvet:alloc-ok — failure path
 			}
 		}
 	}
 	if dst.Len() != msgSize {
-		return fmt.Errorf("uasc: internal error: frame size %d != %d", dst.Len(), msgSize)
+		return fmt.Errorf("uasc: internal error: frame size %d != %d", dst.Len(), msgSize) //studyvet:alloc-ok — failure path
 	}
 	return nil
 }
@@ -263,6 +265,8 @@ type openOpts struct {
 // message header) and returns sequence header and payload. The returned
 // slices alias body (or, for asymmetric decryption, a fresh plaintext
 // buffer); callers copy what they keep.
+//
+//studyvet:hotpath — per-chunk on every received message; pooled encoder keeps the verify reassembly alloc-free
 func open(msgType string, chunkFlag byte, body []byte, prefixLen int, o openOpts) (seqHdr, payload []byte, err error) {
 	if len(body) < prefixLen {
 		return nil, nil, errors.New("uasc: chunk shorter than security header")
@@ -278,7 +282,7 @@ func open(msgType string, chunkFlag byte, body []byte, prefixLen int, o openOpts
 			err = o.policy.SymDecrypt(o.symKeys, secured)
 		}
 		if err != nil {
-			return nil, nil, fmt.Errorf("uasc: decrypting chunk: %w", err)
+			return nil, nil, fmt.Errorf("uasc: decrypting chunk: %w", err) //studyvet:alloc-ok — failure path
 		}
 	}
 	if o.signed {
@@ -307,7 +311,7 @@ func open(msgType string, chunkFlag byte, body []byte, prefixLen int, o openOpts
 		}
 		uatypes.ReleaseEncoder(signed)
 		if err != nil {
-			return nil, nil, fmt.Errorf("uasc: chunk signature: %w", err)
+			return nil, nil, fmt.Errorf("uasc: chunk signature: %w", err) //studyvet:alloc-ok — failure path
 		}
 		secured = secured[:len(secured)-sigSize]
 	}
@@ -353,6 +357,7 @@ func Open(t *Transport, sec ChannelSecurity, lifetimeMS uint32) (*Channel, error
 	}
 
 	var clientNonce []byte
+	//studyvet:entropy-exempt — fallback for live scanning; deterministic handshakes (sec.Derive set) overwrite with uarsa.Epoch below
 	ts := time.Now()
 	if sec.Derive != nil {
 		// Deterministic handshake: nonce from the exchange derivation,
@@ -692,6 +697,7 @@ func (ch *Channel) Close() error {
 	}
 	ch.closed = true
 	req := &uamsg.CloseSecureChannelRequest{
+		//studyvet:entropy-exempt — CLO is fire-and-forget teardown; its timestamp is never parsed into a record
 		Header: uamsg.RequestHeader{Timestamp: time.Now()},
 	}
 	_ = ch.sendMsg(uamsg.MsgTypeClose, ch.newRequestID(), req)
@@ -829,6 +835,7 @@ func Accept(t *Transport, cfg ServerConfig) (*Channel, error) {
 	ch.sec.Mode = req.SecurityMode
 
 	var serverNonce []byte
+	//studyvet:entropy-exempt — fallback for live serving; deterministic channels (ch.sec.Derive set) pin the OPN response timestamp below
 	now := time.Now()
 	if ch.sec.Derive != nil {
 		// Channel-id collisions across connections are harmless: each

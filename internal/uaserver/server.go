@@ -373,6 +373,12 @@ func okHeader(handle uint32) uamsg.ResponseHeader {
 }
 
 // dispatch routes one request. A nil return closes the connection.
+// dispatch routes one request to its service handler. The cached
+// GetEndpoints/FindServers arms are the serve-side hot path:
+// TestCachedGetEndpointsServeAllocBudget holds dispatch-plus-encode to
+// two allocations per request.
+//
+//studyvet:hotpath — per-request on every simulated server; BenchmarkGetEndpointsServe budgets its allocs
 func (s *Server) dispatch(ch *uasc.Channel, sessions map[string]*session, msg uamsg.Message) uamsg.Message {
 	switch req := msg.(type) {
 	case *uamsg.GetEndpointsRequest:

@@ -24,6 +24,8 @@ var encoderPools [len(encoderClasses)]sync.Pool
 // given capacity. Release it with ReleaseEncoder when the encoded bytes
 // are no longer referenced; the returned slice of Bytes aliases the
 // pooled buffer, so callers must not retain it past the release.
+//
+//studyvet:hotpath — steady state reuses warm buffers; only cold starts hit make
 func AcquireEncoder(capacity int) *Encoder {
 	ci := len(encoderClasses) - 1
 	for i, sz := range encoderClasses {
@@ -49,6 +51,8 @@ func AcquireEncoder(capacity int) *Encoder {
 // ReleaseEncoder resets the encoder and returns it to its size-class
 // pool. Double release corrupts encoded messages; release exactly once,
 // after the encoded bytes have been copied or written out.
+//
+//studyvet:hotpath — paired with AcquireEncoder on every sealed chunk
 func ReleaseEncoder(e *Encoder) {
 	if e == nil || cap(e.buf) > maxPooledEncoderBuf {
 		return

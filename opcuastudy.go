@@ -634,6 +634,8 @@ func (c *Campaign) LastWave() *core.WaveAnalysis {
 // pipeline.EncoderSink (no intermediate slice). A campaign run with
 // DiscardRecords retains nothing to write — attach an EncoderSink to
 // CampaignConfig.RecordSink instead.
+//
+//studyvet:sink-exempt — synchronous in-memory replay of already-retained records; there is no upstream producer to cancel
 func (c *Campaign) WriteDataset(w io.Writer) error {
 	sink := pipeline.NewEncoderSink(w, c.Config.Anonymize)
 	for wi := 0; wi < len(deploy.WaveDates); wi++ {
