@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/uapolicy"
 )
 
@@ -28,18 +29,41 @@ var (
 	benchErr  error
 )
 
-// benchCampaign runs the full-fidelity campaign once per test binary.
+// benchCampaign runs the full-fidelity campaign once per test binary —
+// with the telemetry registry live, so the benchmark numbers measure
+// the instrumented configuration (the one CI ships). When
+// OPCUA_METRICS_OUT names a file, the closing snapshot is written there
+// as NDJSON for the CI bench artifacts.
 func benchCampaign(b *testing.B) *Campaign {
 	b.Helper()
 	benchOnce.Do(func() {
+		reg := telemetry.New()
 		benchCamp, benchErr = RunCampaign(context.Background(), CampaignConfig{
 			Seed:        2020,
 			NoiseProb:   0.002,
 			GrabWorkers: 32,
+			Telemetry:   reg,
 			Progressf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "[campaign] "+format+"\n", args...)
 			},
 		})
+		if benchErr != nil {
+			return
+		}
+		if path := os.Getenv("OPCUA_METRICS_OUT"); path != "" {
+			snap := reg.Snapshot()
+			snap.Final = true
+			f, err := os.Create(path)
+			if err == nil {
+				err = telemetry.WriteSnapshot(f, snap)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "[campaign] metrics dump: %v\n", err)
+			}
+		}
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)

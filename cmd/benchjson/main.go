@@ -19,6 +19,15 @@
 // any benchmark present in both whose fresh allocs/op exceed
 // budget×tolerance (+2 absolute slack for near-zero budgets) fails the
 // run with exit status 1 — the CI hot-path allocation regression gate.
+//
+// With -overhead-delta N (N >= 0), every fresh benchmark whose name
+// contains "telemetry=on" is paired with its "telemetry=off" sibling
+// and must not allocate more than sibling+N allocs/op — the
+// instrumentation-overhead gate: enabling telemetry may cost at most a
+// fixed, declared number of allocations, and the disabled path is
+// budget-gated separately so it cannot move at all. A lone on/off
+// benchmark without its sibling fails (an unpaired gate is a disabled
+// gate), as does an input with no telemetry pairs at all.
 package main
 
 import (
@@ -189,11 +198,61 @@ func checkBudget(fresh map[string]*entry, budgetPath string, match *regexp.Regex
 	return regressions, nil
 }
 
+// checkOverhead pairs "telemetry=on" benchmarks with their
+// "telemetry=off" siblings and enforces that instrumentation costs at
+// most delta extra allocs/op. Names are walked sorted so reports are
+// byte-identical across runs.
+func checkOverhead(fresh map[string]*entry, delta float64) []string {
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var problems []string
+	pairs := 0
+	for _, name := range names {
+		if strings.Contains(name, "telemetry=off") {
+			if _, ok := fresh[strings.Replace(name, "telemetry=off", "telemetry=on", 1)]; !ok {
+				problems = append(problems, fmt.Sprintf(
+					"%s: no telemetry=on sibling in input (overhead gate not exercised)", name))
+			}
+			continue
+		}
+		if !strings.Contains(name, "telemetry=on") {
+			continue
+		}
+		off, ok := fresh[strings.Replace(name, "telemetry=on", "telemetry=off", 1)]
+		if !ok {
+			problems = append(problems, fmt.Sprintf(
+				"%s: no telemetry=off sibling in input (overhead gate not exercised)", name))
+			continue
+		}
+		on := fresh[name]
+		if !on.hasAllocs || !off.hasAllocs {
+			problems = append(problems, fmt.Sprintf(
+				"%s: pair not run with -benchmem (no allocs/op to compare)", name))
+			continue
+		}
+		pairs++
+		if on.AllocsPerOp > off.AllocsPerOp+delta {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %.0f allocs/op vs %.0f disabled exceeds overhead delta %.0f",
+				name, on.AllocsPerOp, off.AllocsPerOp, delta))
+		}
+	}
+	if pairs == 0 && len(problems) == 0 {
+		problems = append(problems, "no telemetry=on/off benchmark pairs in input (overhead gate not exercised)")
+	}
+	return problems
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	budget := flag.String("budget", "", "BENCH_*.json to enforce allocs/op budgets against (exit 1 on regression or on an enforced entry absent from input)")
 	budgetMatch := flag.String("budget-match", "", "regexp scoping which -budget entries this invocation enforces (default: all)")
 	tolerance := flag.Float64("tolerance", 1.25, "multiplicative slack for -budget comparisons")
+	overheadDelta := flag.Float64("overhead-delta", -1,
+		"enforce telemetry=on allocs/op <= telemetry=off sibling + N (negative = off; exit 1 on violation or unpaired benchmark)")
 	flag.Parse()
 
 	var match *regexp.Regexp
@@ -258,5 +317,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: allocation budgets within %s (tolerance %.2f×)\n", *budget, *tolerance)
+	}
+
+	if *overheadDelta >= 0 {
+		if problems := checkOverhead(d.Benchmarks, *overheadDelta); len(problems) > 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: instrumentation overhead violations:")
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "  "+p)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: telemetry overhead within %.0f allocs/op of disabled siblings\n", *overheadDelta)
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/pipeline"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 func parseWaves(s string) ([]int, error) {
@@ -93,6 +94,10 @@ func main() {
 	shards := flag.Int("shards", 0, "shard every wave's probe space N ways across worker subprocesses (coordinator mode unless -shard is set)")
 	shard := flag.Int("shard", -1, "worker mode: scan only this shard (0-based; requires -shards)")
 	merge := flag.String("merge", "", "merge pre-produced worker shard streams (comma-separated JSONL files) instead of scanning")
+	metricsPath := flag.String("metrics", "", "stream telemetry snapshots as NDJSON to this file (\"-\" = stdout); sharded runs emit per-shard and merged snapshots")
+	metricsInterval := flag.Duration("metrics-interval", 0, "periodic snapshot cadence (0 = closing snapshot only)")
+	tracePath := flag.String("trace", "", "dump the span-style exchange trace as NDJSON to this file (single-process mode)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address for live campaigns")
 	flag.Parse()
 
 	waveList, err := parseWaves(*waves)
@@ -116,38 +121,57 @@ func main() {
 		},
 	}
 
+	mopts := metricsOptions{
+		Path:      *metricsPath,
+		Interval:  *metricsInterval,
+		TracePath: *tracePath,
+		DebugAddr: *debugAddr,
+	}
 	switch {
 	case *merge != "":
-		err = mergeShards(cfg, strings.Split(*merge, ","), *datasetPath, *csv)
+		err = mergeShards(cfg, strings.Split(*merge, ","), *datasetPath, *csv, mopts, nil)
 	case *shard >= 0:
-		err = runWorker(cfg, *shards, *shard, *datasetPath)
+		err = runWorker(cfg, *shards, *shard, *datasetPath, mopts)
 	case *shards > 1:
-		err = coordinate(cfg, *shards, *datasetPath, *csv)
+		err = coordinate(cfg, *shards, *datasetPath, *csv, mopts)
 	default:
-		err = runSingle(cfg, *datasetPath, *csv)
+		err = runSingle(cfg, *datasetPath, *csv, mopts)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-// runSingle is the classic single-process campaign.
-func runSingle(cfg opcuastudy.CampaignConfig, datasetPath string, csv bool) error {
-	c, err := opcuastudy.RunCampaign(context.Background(), cfg)
+// runSingle is the classic single-process campaign. The telemetry
+// registry is always live — the closing summary table reads it — and
+// -metrics additionally streams its snapshots as NDJSON.
+func runSingle(cfg opcuastudy.CampaignConfig, datasetPath string, csv bool, mopts metricsOptions) error {
+	cfg.Telemetry = telemetry.New()
+	if mopts.TracePath != "" {
+		cfg.Trace = telemetry.NewTracer(0)
+	}
+	if err := serveDebug(mopts.DebugAddr, cfg.Telemetry); err != nil {
+		return err
+	}
+	streamer, err := newMetricsStreamer(mopts.Path, mopts.Interval, cfg.Telemetry, "")
 	if err != nil {
 		return err
 	}
-
-	if st := c.CryptoStats; st != nil {
-		tot := st.Total()
-		fmt.Fprintf(os.Stderr,
-			"crypto cache summary: sign %d/%d, verify %d/%d, decrypt %d/%d (hits/misses); "+
-				"%.1f%% overall hit rate, %d entries, %d evictions\n",
-			st.Sign.Hits, st.Sign.Misses, st.Verify.Hits, st.Verify.Misses,
-			st.Decrypt.Hits, st.Decrypt.Misses, 100*tot.HitRate(), st.Entries, tot.Evictions)
+	c, err := opcuastudy.RunCampaign(context.Background(), cfg)
+	serr := streamer.Stop()
+	if err != nil {
+		return err
+	}
+	if serr != nil {
+		return serr
+	}
+	if err := dumpTrace(mopts.TracePath, cfg.Trace); err != nil {
+		return err
 	}
 
-	printTables(c.Report(), csv)
+	tables := c.Report()
+	tables = append(tables, summaryTable(cfg.Telemetry.Snapshot()))
+	printTables(tables, csv)
 
 	if datasetPath != "" {
 		f, err := os.Create(datasetPath)
@@ -167,8 +191,10 @@ func runSingle(cfg opcuastudy.CampaignConfig, datasetPath string, csv bool) erro
 }
 
 // runWorker scans one shard of every selected wave and streams raw
-// records as wave-ordered NDJSON.
-func runWorker(cfg opcuastudy.CampaignConfig, shards, shard int, datasetPath string) error {
+// records as wave-ordered NDJSON. Each worker owns a process-scoped
+// telemetry registry; its -metrics stream carries the shard identity so
+// the coordinator can merge the final snapshots.
+func runWorker(cfg opcuastudy.CampaignConfig, shards, shard int, datasetPath string, mopts metricsOptions) error {
 	if shards < 1 || shard >= shards {
 		return fmt.Errorf("-shard %d requires -shards > %d", shard, shard)
 	}
@@ -186,20 +212,33 @@ func runWorker(cfg opcuastudy.CampaignConfig, shards, shard int, datasetPath str
 		out = f
 	}
 
+	cfg.Telemetry = telemetry.New()
+	if err := serveDebug(mopts.DebugAddr, cfg.Telemetry); err != nil {
+		return err
+	}
+	streamer, err := newMetricsStreamer(mopts.Path, mopts.Interval, cfg.Telemetry, strconv.Itoa(shard))
+	if err != nil {
+		return err
+	}
 	cfg.Progressf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "[shard %d/%d] "+format+"\n",
 			append([]any{shard, shards}, args...)...)
 	}
 	world, err := opcuastudy.BuildWorld(cfg)
 	if err != nil {
+		streamer.Stop()
 		return err
 	}
 	// The fan-in stage lets NDJSON encoding drain while the next wave
 	// scans; it owns (and closes) the encoder sink.
-	sink := pipeline.NewChanSink(pipeline.NewEncoderSink(out, false), 256)
+	sink := pipeline.NewChanSinkObserved(pipeline.NewEncoderSink(out, false), 256,
+		pipeline.NewChanMetrics(cfg.Telemetry))
 	err = opcuastudy.RunCampaignShard(context.Background(), cfg, world, shards, shard, sink)
 	if cerr := sink.Close(); err == nil {
 		err = cerr
+	}
+	if serr := streamer.Stop(); err == nil {
+		err = serr
 	}
 	if err != nil {
 		return err
@@ -211,8 +250,10 @@ func runWorker(cfg opcuastudy.CampaignConfig, shards, shard int, datasetPath str
 }
 
 // coordinate spawns one worker subprocess per shard, waits, and merges
-// their streams into the analyzed campaign.
-func coordinate(cfg opcuastudy.CampaignConfig, shards int, datasetPath string, csv bool) error {
+// their streams into the analyzed campaign. With -metrics, each worker
+// streams its own shard-tagged snapshots into a scratch file and the
+// coordinator folds the final ones into the merged metrics output.
+func coordinate(cfg opcuastudy.CampaignConfig, shards int, datasetPath string, csv bool, mopts metricsOptions) error {
 	exe, err := os.Executable()
 	if err != nil {
 		return err
@@ -226,7 +267,7 @@ func coordinate(cfg opcuastudy.CampaignConfig, shards int, datasetPath string, c
 	// files in /tmp.
 	defer os.RemoveAll(tmp)
 
-	var paths []string
+	var paths, workerMetrics []string
 	var cmds []*exec.Cmd
 	for i := 0; i < shards; i++ {
 		out := filepath.Join(tmp, fmt.Sprintf("shard-%d.jsonl", i))
@@ -240,6 +281,13 @@ func coordinate(cfg opcuastudy.CampaignConfig, shards int, datasetPath string, c
 			"-max-hosts", strconv.Itoa(cfg.MaxHosts),
 			"-grab-workers", strconv.Itoa(cfg.GrabWorkers),
 			"-crypto-cache", strconv.Itoa(cfg.CryptoCache),
+		}
+		if m := mopts.forWorker(tmp, i); m != "" {
+			workerMetrics = append(workerMetrics, m)
+			args = append(args, "-metrics", m)
+			if mopts.Interval > 0 {
+				args = append(args, "-metrics-interval", mopts.Interval.String())
+			}
 		}
 		if len(cfg.Waves) > 0 {
 			var parts []string
@@ -272,13 +320,20 @@ func coordinate(cfg opcuastudy.CampaignConfig, shards int, datasetPath string, c
 	if failed {
 		return fmt.Errorf("one or more shard workers failed; not merging partial streams")
 	}
-	return mergeShards(cfg, paths, datasetPath, csv)
+	return mergeShards(cfg, paths, datasetPath, csv, mopts, workerMetrics)
 }
 
 // mergeShards merges wave-ordered worker streams deterministically,
 // feeds the incremental analyzer (and optionally the final dataset
-// encoder), and prints the report of the merged campaign.
-func mergeShards(cfg opcuastudy.CampaignConfig, paths []string, datasetPath string, csv bool) error {
+// encoder), and prints the report of the merged campaign. The merge
+// stage owns its own registry: its campaign_records counters tally the
+// records that survive cross-shard dedup, so they equal the merged
+// dataset's record count exactly (workers count the records they
+// emitted, which can overlap on follow-up references). workerMetrics,
+// when non-empty, lists the workers' metrics streams; their final
+// snapshots are replayed into the -metrics output alongside the merged
+// total.
+func mergeShards(cfg opcuastudy.CampaignConfig, paths []string, datasetPath string, csv bool, mopts metricsOptions, workerMetrics []string) error {
 	var decoders []*dataset.Decoder
 	for _, p := range paths {
 		f, err := os.Open(strings.TrimSpace(p))
@@ -289,10 +344,13 @@ func mergeShards(cfg opcuastudy.CampaignConfig, paths []string, datasetPath stri
 		decoders = append(decoders, dataset.NewDecoder(f))
 	}
 
+	reg := telemetry.New()
 	analyzer := pipeline.NewAnalyzer(pipeline.AnalyzerConfig{
 		Workers: cfg.AnalyzeWorkers,
 		Retain:  true,
+		Metrics: reg,
 		OnWave: func(w *core.WaveAnalysis) {
+			reg.Scope("wave", strconv.Itoa(w.Wave)).Counter("campaign_records").Add(uint64(len(w.Records)))
 			fmt.Fprintf(os.Stderr, "merged wave %d: %d OPC UA hosts (%d servers, %d discovery), %.0f%% deficient\n",
 				w.Wave, len(w.Records), len(w.Servers), w.Discovery, 100*w.DeficientFrac)
 		},
@@ -325,7 +383,16 @@ func mergeShards(cfg opcuastudy.CampaignConfig, paths []string, datasetPath stri
 	if len(analyses) == 0 {
 		return fmt.Errorf("merged streams contain no analyzable waves")
 	}
-	printTables(report.All(analyses, long), csv)
+
+	mergeSnap := reg.Snapshot()
+	mergeSnap.Shard = "merge"
+	mergeSnap.Final = true
+	summary, err := writeMergedMetrics(mopts.Path, workerMetrics, mergeSnap)
+	if err != nil {
+		return err
+	}
+
+	printTables(append(report.All(analyses, long), summaryTable(summary)), csv)
 	return nil
 }
 

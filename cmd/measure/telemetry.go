@@ -1,0 +1,287 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/telemetry"
+)
+
+// metricsOptions carries the observability flags through the run modes.
+type metricsOptions struct {
+	Path      string        // NDJSON snapshot stream ("-" = stdout, "" = off)
+	Interval  time.Duration // periodic snapshot cadence (0 = final only)
+	TracePath string        // exchange-trace NDJSON dump ("" = off)
+	DebugAddr string        // expvar/pprof listener ("" = off)
+}
+
+// forWorker derives the worker subprocess's metrics flags: each worker
+// streams into its own file under dir, and the coordinator merges the
+// final snapshots afterwards.
+func (m metricsOptions) forWorker(dir string, shard int) string {
+	if m.Path == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s/shard-%d.metrics.ndjson", dir, shard)
+}
+
+// metricsStreamer periodically snapshots a registry as NDJSON and
+// writes the closing Final snapshot on Stop. Safe with a nil writer
+// (all methods no-op).
+type metricsStreamer struct {
+	reg   *telemetry.Registry
+	w     io.Writer
+	c     io.Closer
+	shard string
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	mu   sync.Mutex // serializes snapshot writes (ticker vs Stop)
+}
+
+// newMetricsStreamer opens path ("-" = stdout) and, when interval > 0,
+// starts the periodic snapshot goroutine. A "" path returns a no-op
+// streamer.
+func newMetricsStreamer(path string, interval time.Duration, reg *telemetry.Registry, shard string) (*metricsStreamer, error) {
+	if path == "" {
+		return &metricsStreamer{}, nil
+	}
+	s := &metricsStreamer{reg: reg, shard: shard, stop: make(chan struct{})}
+	if path == "-" {
+		s.w = os.Stdout
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		s.w = f
+		s.c = f
+	}
+	if interval > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.write(false)
+				case <-s.stop:
+					return
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+func (s *metricsStreamer) write(final bool) {
+	if s.w == nil {
+		return
+	}
+	snap := s.reg.Snapshot()
+	snap.Shard = s.shard
+	snap.Final = final
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := telemetry.WriteSnapshot(s.w, snap); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+	}
+}
+
+// Stop halts the ticker, writes the Final snapshot, and closes the
+// file. Call exactly once, after the campaign finishes.
+func (s *metricsStreamer) Stop() error {
+	if s.w == nil {
+		return nil
+	}
+	close(s.stop)
+	s.wg.Wait()
+	s.write(true)
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// readFinalSnapshot returns the closing snapshot of a worker's metrics
+// stream (the last Final one, falling back to the last line).
+func readFinalSnapshot(path string) (*telemetry.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snaps, err := telemetry.ReadSnapshots(f)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		if snaps[i].Final {
+			return snaps[i], nil
+		}
+	}
+	if len(snaps) > 0 {
+		return snaps[len(snaps)-1], nil
+	}
+	return nil, fmt.Errorf("no snapshots in %s", path)
+}
+
+// writeMergedMetrics emits the sharded campaign's closing metrics: each
+// worker's final shard-tagged snapshot, their merged "total", and the
+// merge stage's own snapshot (whose campaign_records counters are the
+// authoritative post-dedup record counts). It returns the combined
+// snapshot used for the summary table: worker totals with their
+// campaign_records replaced by the merge stage's exact counts, so
+// "dataset records" always equals the merged dataset.
+func writeMergedMetrics(path string, workerMetrics []string, mergeSnap *telemetry.Snapshot) (*telemetry.Snapshot, error) {
+	var finals []*telemetry.Snapshot
+	for _, p := range workerMetrics {
+		s, err := readFinalSnapshot(p)
+		if err != nil {
+			return nil, err
+		}
+		finals = append(finals, s)
+	}
+
+	if path != "" {
+		w := io.Writer(os.Stdout)
+		var c io.Closer
+		if path != "-" {
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			w, c = f, f
+		}
+		out := finals
+		if len(finals) > 0 {
+			total, err := telemetry.MergeSnapshots("total", finals...)
+			if err != nil {
+				return nil, err
+			}
+			out = append(append([]*telemetry.Snapshot{}, finals...), total)
+		}
+		out = append(out, mergeSnap)
+		for _, s := range out {
+			if err := telemetry.WriteSnapshot(w, s); err != nil {
+				if c != nil {
+					c.Close()
+				}
+				return nil, err
+			}
+		}
+		if c != nil {
+			if err := c.Close(); err != nil {
+				return nil, err
+			}
+		}
+		if path != "-" {
+			fmt.Fprintf(os.Stderr, "telemetry snapshots written to %s (%d per-shard + total + merge)\n",
+				path, len(finals))
+		}
+	}
+
+	// Workers tally the records they emitted, which overlap when a
+	// follow-up reference crosses shards; drop their counts so the
+	// summary's accounting comes solely from the merge stage.
+	for _, s := range finals {
+		for k := range s.Counters {
+			if strings.HasPrefix(k, "campaign_records") {
+				delete(s.Counters, k)
+			}
+		}
+	}
+	return telemetry.MergeSnapshots("", append(finals, mergeSnap)...)
+}
+
+// dumpTrace writes the tracer's retained exchanges as NDJSON.
+func dumpTrace(path string, tr *telemetry.Tracer) error {
+	if path == "" || tr == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exchange trace written to %s (%d exchanges retained of %d recorded)\n",
+		path, len(tr.Exchanges()), tr.Total())
+	return nil
+}
+
+// serveDebug starts the expvar/pprof listener when addr is set.
+func serveDebug(addr string, reg *telemetry.Registry) error {
+	if addr == "" {
+		return nil
+	}
+	bound, err := telemetry.ServeDebug(addr, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/vars (pprof under /debug/pprof/)\n", bound)
+	return nil
+}
+
+// summaryTable condenses the closing snapshot into the one-screen
+// campaign summary: discovery volume, grab outcomes, handshake
+// outcomes, crypto-cache efficiency, and pipeline backpressure.
+func summaryTable(s *telemetry.Snapshot) *report.Table {
+	count := func(name string) string {
+		return strconv.FormatUint(s.CounterTotal(name), 10)
+	}
+	dur := func(ns uint64) string {
+		return time.Duration(ns).Round(time.Microsecond).String()
+	}
+	t := &report.Table{
+		Title:  "Campaign summary (closing telemetry snapshot)",
+		Header: []string{"metric", "value"},
+	}
+	add := func(metric, value string) { t.Rows = append(t.Rows, []string{metric, value}) }
+
+	add("hosts probed", count("scan_probes"))
+	add("open ports", count("scan_open_ports"))
+	add("grab targets", count("grab_targets"))
+	add("grabs completed", count("grab_done"))
+	add("OPC UA hosts", count("grab_opcua"))
+	add("port noise (non-OPC UA)", count("grab_noise"))
+	add("follow-up references", count("grab_followups"))
+	add("dataset records", count("campaign_records"))
+
+	add("handshakes attempted", count("handshake_attempts"))
+	add("handshakes ok", count("handshake_ok"))
+	add("handshakes failed", count("handshake_failed"))
+	add("certificates rejected", count("handshake_cert_rejected"))
+	if h := s.HistogramTotal("handshake_ns"); h != nil && h.Count > 0 {
+		add("handshake latency (mean)", dur(uint64(h.MeanNs())))
+	}
+
+	hits := s.CounterTotal("crypto_sign_hits") + s.CounterTotal("crypto_verify_hits") +
+		s.CounterTotal("crypto_decrypt_hits")
+	misses := s.CounterTotal("crypto_sign_misses") + s.CounterTotal("crypto_verify_misses") +
+		s.CounterTotal("crypto_decrypt_misses")
+	if hits+misses > 0 {
+		add("RSA cache hit rate", fmt.Sprintf("%.1f%% (%d/%d)", 100*float64(hits)/float64(hits+misses), hits, hits+misses))
+	} else {
+		add("RSA cache hit rate", "n/a (cache disabled or idle)")
+	}
+
+	add("sink records", count("sink_records"))
+	add("sink blocked (cumulative)", dur(s.CounterTotal("sink_blocked_ns")))
+	add("sink buffer high-water", strconv.FormatInt(s.MaxTotal("sink_buffer_highwater"), 10))
+	add("grab queue high-water", strconv.FormatInt(s.MaxTotal("grab_queue_depth"), 10))
+	return t
+}

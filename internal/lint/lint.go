@@ -110,6 +110,10 @@ func DefaultConfig() *Config {
 			"repro/internal/pipeline",
 			"repro/internal/dataset",
 			"repro/internal/worldview",
+			// The telemetry registry sits on the deterministic path's
+			// packages; its one sanctioned wall-clock read (NowNs) carries
+			// an entropy-exempt directive, everything else must stay clean.
+			"repro/internal/telemetry",
 		},
 		EpochVars: []string{"repro/internal/uarsa.Epoch"},
 		SinkPkg:   "repro/internal/pipeline",

@@ -18,7 +18,7 @@ import (
 // per test binary via `go list -export`.
 var stdPackages = []string{
 	"context", "crypto/rand", "errors", "fmt", "math/rand",
-	"sort", "strings", "sync", "time",
+	"sort", "strings", "sync", "sync/atomic", "time",
 }
 
 var (
@@ -205,12 +205,13 @@ func runGolden(t *testing.T, pkgPath string) {
 	}
 }
 
-func TestGoldenDeterminism(t *testing.T)  { runGolden(t, "determ") }
-func TestGoldenOrderOnly(t *testing.T)    { runGolden(t, "orderonly") }
-func TestGoldenCacheOwner(t *testing.T)   { runGolden(t, "owner") }
-func TestGoldenHotPath(t *testing.T)      { runGolden(t, "hot") }
-func TestGoldenSinkPkg(t *testing.T)      { runGolden(t, "pipeline") }
-func TestGoldenSinkProducer(t *testing.T) { runGolden(t, "producer") }
+func TestGoldenDeterminism(t *testing.T)      { runGolden(t, "determ") }
+func TestGoldenOrderOnly(t *testing.T)        { runGolden(t, "orderonly") }
+func TestGoldenCacheOwner(t *testing.T)       { runGolden(t, "owner") }
+func TestGoldenHotPath(t *testing.T)          { runGolden(t, "hot") }
+func TestGoldenHotPathTelemetry(t *testing.T) { runGolden(t, "hottel") }
+func TestGoldenSinkPkg(t *testing.T)          { runGolden(t, "pipeline") }
+func TestGoldenSinkProducer(t *testing.T)     { runGolden(t, "producer") }
 
 // TestRepositoryIsClean is the in-process version of the CI studyvet
 // gate: the four analyzers over every module package must report

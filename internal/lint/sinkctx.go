@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // SinkCtxAnalyzer enforces the record pipeline's cancellation and
@@ -81,8 +82,8 @@ func lookupSinkTypes(pass *Pass, sinkPkg string) (*types.Interface, *types.Named
 }
 
 func checkChanSinkLiterals(pass *Pass, fd *ast.FuncDecl, chanSink *types.Named, inSinkPkg bool) {
-	if inSinkPkg && fd.Name.Name == "NewChanSink" {
-		return // the one sanctioned construction site
+	if inSinkPkg && strings.HasPrefix(fd.Name.Name, "NewChanSink") {
+		return // the sanctioned construction sites (NewChanSink and its Observed variant)
 	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		lit, ok := n.(*ast.CompositeLit)

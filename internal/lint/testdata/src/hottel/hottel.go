@@ -1,0 +1,40 @@
+// Package hottel pins the telemetry contract inside hotpath functions:
+// the nil-safe instrument API passes the analyzer untouched, while
+// rendering labels or events with fmt on the hot path is rejected —
+// instrumentation must stay no-op-safe, not become a formatting layer.
+package hottel
+
+import (
+	"fmt"
+
+	"tel"
+)
+
+//studyvet:hotpath — golden
+func countProbes(c *tel.Counter, h *tel.Histogram, startNs int64, n int) {
+	for i := 0; i < n; i++ {
+		c.Inc() // nil-safe no-op API: no diagnostic
+	}
+	c.Add(uint64(n))
+	h.ObserveNs(42 - startNs)
+}
+
+//studyvet:hotpath — golden
+func formattedEvent(s tel.Sink, wave int) {
+	s.Event(fmt.Sprintf("wave %d done", wave)) // want "fmt.Sprintf in hot path formattedEvent allocates"
+}
+
+//studyvet:hotpath — golden
+func labelPerIteration(c map[string]*tel.Counter, hosts []string) {
+	for _, h := range hosts {
+		c["host="+h].Inc() // want "string concatenation in a loop inside hot path labelPerIteration"
+	}
+}
+
+//studyvet:hotpath — golden
+func exemptFailurePath(s tel.Sink, err error) {
+	if err != nil {
+		//studyvet:alloc-ok — failure path may format
+		s.Event(fmt.Sprintf("grab failed: %v", err))
+	}
+}

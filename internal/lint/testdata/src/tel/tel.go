@@ -1,0 +1,43 @@
+// Package tel mirrors the repository's telemetry API shape for the
+// hotpath goldens: nil-safe pointer-receiver instruments whose methods
+// allocate nothing, plus an interface-taking sink that tempts callers
+// into fmt-formatting labels on the hot path.
+package tel
+
+import "sync/atomic"
+
+// Counter is the nil-safe atomic counter: every method is one pointer
+// check and (at most) one atomic op, so hotpath code may call it
+// unconditionally.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Histogram records latencies. No-op on a nil receiver.
+type Histogram struct{ count atomic.Uint64 }
+
+// ObserveNs records one sample. No-op on a nil receiver.
+func (h *Histogram) ObserveNs(ns int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+}
+
+// Sink receives pre-rendered events; formatting the message is the
+// caller's cost, which is exactly what hotpath code must not pay.
+type Sink interface{ Event(msg string) }

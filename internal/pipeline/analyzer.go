@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/telemetry"
 )
 
 // AnalyzerConfig tunes the streaming analyzer.
@@ -23,6 +24,10 @@ type AnalyzerConfig struct {
 	// must not keep the analysis alive if the caller wants the flat
 	// memory profile.
 	OnWave func(*core.WaveAnalysis)
+	// Metrics receives fold-throughput instruments (analyzer_records,
+	// analyzer_waves, analyzer_fold_ns — the cumulative time spent in
+	// wave finalization); nil disables them at zero cost.
+	Metrics *telemetry.Registry
 }
 
 // Analyzer folds a wave-ordered record stream into per-wave analyses
@@ -44,11 +49,21 @@ type Analyzer struct {
 	analyses []*core.WaveAnalysis
 	longOut  *core.Longitudinal
 	closed   bool
+
+	records *telemetry.Counter
+	waves   *telemetry.Counter
+	foldNs  *telemetry.Counter
 }
 
 // NewAnalyzer returns an empty streaming analyzer.
 func NewAnalyzer(cfg AnalyzerConfig) *Analyzer {
-	return &Analyzer{cfg: cfg, long: core.NewLongitudinalAccumulator(cfg.Retain)}
+	return &Analyzer{
+		cfg:     cfg,
+		long:    core.NewLongitudinalAccumulator(cfg.Retain),
+		records: cfg.Metrics.Counter("analyzer_records"),
+		waves:   cfg.Metrics.Counter("analyzer_waves"),
+		foldNs:  cfg.Metrics.Counter("analyzer_fold_ns"),
+	}
 }
 
 // Put folds one record. Implements RecordSink.
@@ -69,14 +84,18 @@ func (a *Analyzer) Put(rec *dataset.HostRecord) error {
 			rec.Wave, a.wave)
 	}
 	a.acc.Add(rec)
+	a.records.Inc()
 	return nil
 }
 
 // finalizeWave closes the in-flight wave and folds it.
 func (a *Analyzer) finalizeWave() {
+	foldStart := a.foldNs.StartNs()
 	w := a.acc.Finalize(a.cfg.Workers)
 	a.acc = nil
 	a.long.AddWave(w)
+	a.foldNs.AddSince(foldStart)
+	a.waves.Inc()
 	if a.cfg.Retain {
 		a.analyses = append(a.analyses, w)
 	}

@@ -18,6 +18,7 @@ import (
 	"io"
 
 	"repro/internal/dataset"
+	"repro/internal/telemetry"
 )
 
 // RecordSink consumes a stream of host records. Put and Close must not
@@ -118,12 +119,40 @@ type ChanSink struct {
 	failed     chan struct{}
 	done       chan struct{}
 	err        error
+	m          ChanMetrics
+}
+
+// ChanMetrics observes a ChanSink's backpressure: records accepted,
+// cumulative nanoseconds producers spent blocked on a full buffer, and
+// the buffer-occupancy high-water mark. The zero value (nil instruments,
+// the product of a nil registry) disables observation at one pointer
+// check per field.
+type ChanMetrics struct {
+	Records   *telemetry.Counter
+	BlockedNs *telemetry.Counter
+	HighWater *telemetry.MaxGauge
+}
+
+// NewChanMetrics resolves the standard sink instruments (sink_records,
+// sink_blocked_ns, sink_buffer_highwater) from reg; a nil registry
+// yields the disabled zero value.
+func NewChanMetrics(reg *telemetry.Registry) ChanMetrics {
+	return ChanMetrics{
+		Records:   reg.Counter("sink_records"),
+		BlockedNs: reg.Counter("sink_blocked_ns"),
+		HighWater: reg.MaxGauge("sink_buffer_highwater"),
+	}
 }
 
 // NewChanSink starts the drain goroutine with the given buffer size
 // (minimum 1). Close must be called exactly once, after every producer
 // is finished.
 func NewChanSink(downstream RecordSink, buffer int) *ChanSink {
+	return NewChanSinkObserved(downstream, buffer, ChanMetrics{})
+}
+
+// NewChanSinkObserved is NewChanSink with backpressure telemetry.
+func NewChanSinkObserved(downstream RecordSink, buffer int, m ChanMetrics) *ChanSink {
 	if buffer < 1 {
 		buffer = 1
 	}
@@ -132,6 +161,7 @@ func NewChanSink(downstream RecordSink, buffer int) *ChanSink {
 		ch:         make(chan *dataset.HostRecord, buffer),
 		failed:     make(chan struct{}),
 		done:       make(chan struct{}),
+		m:          m,
 	}
 	go func() {
 		defer close(s.done)
@@ -150,8 +180,24 @@ func NewChanSink(downstream RecordSink, buffer int) *ChanSink {
 
 // Put enqueues one record; safe for concurrent use.
 func (s *ChanSink) Put(rec *dataset.HostRecord) error {
+	// Fast path: buffer has room, no blocking to measure.
 	select {
 	case s.ch <- rec:
+		s.m.Records.Inc()
+		s.m.HighWater.Record(int64(len(s.ch)))
+		return nil
+	case <-s.failed:
+		return s.err
+	default:
+	}
+	// Buffer full: the send below blocks, and that wait is the
+	// backpressure signal sink_blocked_ns accumulates.
+	start := s.m.BlockedNs.StartNs()
+	select {
+	case s.ch <- rec:
+		s.m.BlockedNs.AddSince(start)
+		s.m.Records.Inc()
+		s.m.HighWater.Record(int64(len(s.ch)))
 		return nil
 	case <-s.failed:
 		return s.err

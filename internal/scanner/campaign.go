@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // WaveConfig controls one weekly measurement.
@@ -30,6 +31,13 @@ type WaveConfig struct {
 	// the streaming scheduler is strictly faster.
 	Barrier  bool
 	PortScan PortScanConfig
+	// Metrics receives the grab-stage instruments (grab_targets,
+	// grab_done, grab_opcua, grab_noise, grab_followups,
+	// grab_queue_depth high-water, grab_queue_wait_ns histogram); nil
+	// disables telemetry at zero cost. The campaign runtime passes a
+	// per-wave scope; it is also copied into PortScan.Metrics by callers
+	// that want the discovery stage counted under the same scope.
+	Metrics *telemetry.Registry
 }
 
 // Wave is the outcome of one measurement run.
@@ -72,10 +80,50 @@ func RunWave(ctx context.Context, nw simnet.View, sc *Scanner, cfg WaveConfig) (
 	return runWaveRange(ctx, nw, sc, cfg, 0, nw.Universe().Size())
 }
 
-// grabJob is one queued target with its follow-up depth (0 = port scan).
+// grabJob is one queued target with its follow-up depth (0 = port scan)
+// and the telemetry clock at enqueue time (0 when telemetry is off).
 type grabJob struct {
-	target Target
-	depth  int
+	target     Target
+	depth      int
+	enqueuedNs int64
+}
+
+// grabMetrics bundles the grab-stage instruments, resolved once per
+// wave so the schedulers never touch the registry mid-flight. The zero
+// value (all-nil instruments, the product of a nil registry) is the
+// disabled state: every observation is one pointer check.
+type grabMetrics struct {
+	targets   *telemetry.Counter
+	done      *telemetry.Counter
+	opcua     *telemetry.Counter
+	noise     *telemetry.Counter
+	followups *telemetry.Counter
+
+	queueDepth *telemetry.MaxGauge
+	queueWait  *telemetry.Histogram
+}
+
+func newGrabMetrics(reg *telemetry.Registry) grabMetrics {
+	return grabMetrics{
+		targets:    reg.Counter("grab_targets"),
+		done:       reg.Counter("grab_done"),
+		opcua:      reg.Counter("grab_opcua"),
+		noise:      reg.Counter("grab_noise"),
+		followups:  reg.Counter("grab_followups"),
+		queueDepth: reg.MaxGauge("grab_queue_depth"),
+		queueWait:  reg.Histogram("grab_queue_wait_ns"),
+	}
+}
+
+// observe classifies one finished grab: real OPC UA server vs port-4840
+// noise (the paper's 0.5‰ split).
+func (m grabMetrics) observe(r *Result) {
+	m.done.Inc()
+	if r.ReachedOPCUA {
+		m.opcua.Inc()
+	} else {
+		m.noise.Inc()
+	}
 }
 
 // grabOutcome is one finished grab plus the depth it ran at, so the
@@ -96,6 +144,7 @@ func runStreaming(ctx context.Context, sc *Scanner, initial []Target, cfg WaveCo
 	}
 	queue := make(chan grabJob, queueSize)
 	outcomes := make(chan grabOutcome, cfg.GrabWorkers)
+	gm := newGrabMetrics(cfg.Metrics)
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.GrabWorkers; w++ {
@@ -103,6 +152,7 @@ func runStreaming(ctx context.Context, sc *Scanner, initial []Target, cfg WaveCo
 		go func() {
 			defer wg.Done()
 			for j := range queue {
+				gm.queueWait.ObserveSince(j.enqueuedNs)
 				outcomes <- grabOutcome{res: sc.Grab(ctx, j.target), depth: j.depth}
 			}
 		}()
@@ -115,8 +165,9 @@ func runStreaming(ctx context.Context, sc *Scanner, initial []Target, cfg WaveCo
 			continue
 		}
 		seen[t.Address] = true
-		pending = append(pending, grabJob{target: t})
+		pending = append(pending, grabJob{target: t, enqueuedNs: gm.queueWait.StartNs()})
 	}
+	gm.targets.Add(uint64(len(pending)))
 
 	// The dispatcher selects on {enqueue next pending, receive outcome,
 	// cancellation} simultaneously, so a full queue can never deadlock
@@ -136,9 +187,11 @@ func runStreaming(ctx context.Context, sc *Scanner, initial []Target, cfg WaveCo
 		case dispatch <- next:
 			pending = pending[1:]
 			inflight++
+			gm.queueDepth.Record(int64(len(pending) + inflight))
 		case out := <-outcomes:
 			inflight--
 			results = append(results, out.res)
+			gm.observe(out.res)
 			// After cancellation, don't start new targets — only drain
 			// what is in flight.
 			if !cancelled && cfg.FollowReferences && out.depth < cfg.MaxFollowDepth {
@@ -148,9 +201,12 @@ func runStreaming(ctx context.Context, sc *Scanner, initial []Target, cfg WaveCo
 					}
 					seen[addr] = true
 					pending = append(pending, grabJob{
-						target: Target{Address: addr, Via: ViaReference},
-						depth:  out.depth + 1,
+						target:     Target{Address: addr, Via: ViaReference},
+						depth:      out.depth + 1,
+						enqueuedNs: gm.queueWait.StartNs(),
 					})
+					gm.targets.Inc()
+					gm.followups.Inc()
 				}
 			}
 		case <-done:
@@ -172,6 +228,8 @@ func runStreaming(ctx context.Context, sc *Scanner, initial []Target, cfg WaveCo
 // depth starts. Unlike the original seed implementation it still uses a
 // fixed worker pool rather than one goroutine per target.
 func runBarrier(ctx context.Context, sc *Scanner, targets []Target, cfg WaveConfig) []*Result {
+	gm := newGrabMetrics(cfg.Metrics)
+	gm.targets.Add(uint64(len(targets)))
 	seen := make(map[string]bool, len(targets))
 	for _, t := range targets {
 		seen[t.Address] = true
@@ -183,6 +241,9 @@ func runBarrier(ctx context.Context, sc *Scanner, targets []Target, cfg WaveConf
 		}
 		results := grabBatch(ctx, sc, targets, cfg.GrabWorkers)
 		all = append(all, results...)
+		for _, res := range results {
+			gm.observe(res)
+		}
 		targets = nil
 		if !cfg.FollowReferences {
 			break
@@ -194,6 +255,8 @@ func runBarrier(ctx context.Context, sc *Scanner, targets []Target, cfg WaveConf
 				}
 				seen[addr] = true
 				targets = append(targets, Target{Address: addr, Via: ViaReference})
+				gm.targets.Inc()
+				gm.followups.Inc()
 			}
 		}
 	}

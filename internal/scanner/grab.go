@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/uaclient"
 	"repro/internal/uamsg"
 	"repro/internal/uapolicy"
@@ -135,6 +136,36 @@ type Scanner struct {
 	// deterministic-handshake seed (nil scans with fresh randomness and
 	// no memoization — the legacy behavior).
 	Crypto *uarsa.Suite
+	// Metrics receives handshake outcome/latency instruments scoped by
+	// (policy, mode); nil disables them at zero cost. The campaign
+	// runtime installs a per-wave scope.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, records one span-style exchange per grab
+	// (open→handshake→session→close) under the deterministic ID derived
+	// from (TraceSeed, TraceWave, address).
+	Trace     *telemetry.Tracer
+	TraceSeed int64
+	TraceWave int
+}
+
+// channelMetrics resolves the handshake instruments for one secure
+// (policy, mode) pair: handshake_attempts/ok/failed/cert_rejected and
+// the handshake_ns histogram, labeled policy=<abbrev>,mode=<mode>.
+// Returns nil — the zero-cost disabled handle — when telemetry is off
+// or the policy is insecure (insecure opens are discovery traffic, not
+// handshakes the paper measures).
+func (s *Scanner) channelMetrics(policy *uapolicy.Policy, mode uamsg.MessageSecurityMode) *telemetry.ChannelMetrics {
+	if s.Metrics == nil || policy.Insecure {
+		return nil
+	}
+	scope := s.Metrics.Scope("policy", policy.Abbrev).Scope("mode", mode.String())
+	return &telemetry.ChannelMetrics{
+		Attempts:     scope.Counter("handshake_attempts"),
+		OK:           scope.Counter("handshake_ok"),
+		Failed:       scope.Counter("handshake_failed"),
+		CertRejected: scope.Counter("handshake_cert_rejected"),
+		HandshakeNs:  scope.Histogram("handshake_ns"),
+	}
 }
 
 // channelSecurity assembles the secure-channel parameters for one
@@ -146,6 +177,7 @@ type Scanner struct {
 func (s *Scanner) channelSecurity(purpose string, policy *uapolicy.Policy,
 	mode uamsg.MessageSecurityMode, remoteDER []byte) uaclient.ChannelSecurity {
 	sec := uaclient.ChannelSecurity{Policy: policy, Mode: mode}
+	sec.Metrics = s.channelMetrics(policy, mode)
 	if !policy.Insecure {
 		sec.LocalKey = s.Key
 		sec.LocalCertDER = s.CertDER
@@ -178,12 +210,23 @@ func (s *Scanner) Grab(ctx context.Context, target Target) *Result {
 	//studyvet:entropy-exempt — see above
 	defer func() { res.Duration = time.Since(start) }()
 
+	// The exchange trace (nil when disabled; every span call below is
+	// then one pointer check) records open→handshake→session→close under
+	// the deterministic (seed, wave, address) ID.
+	var ex *telemetry.Exchange
+	if s.Trace != nil {
+		ex = telemetry.NewExchange(s.TraceSeed, s.TraceWave, target.Address)
+		defer func() { s.Trace.Record(ex) }()
+	}
+
 	url := "opc.tcp://" + target.Address
 
 	// Step 1: endpoint discovery over an insecure channel.
+	openStart := ex.Start()
 	c, err := uaclient.Dial(ctx, url, s.opts())
 	if err != nil {
 		res.Error = err.Error()
+		ex.EndSpan("open", openStart, res.Error)
 		return res
 	}
 	eps, err := func() ([]uamsg.EndpointDescription, error) {
@@ -195,6 +238,7 @@ func (s *Scanner) Grab(ctx context.Context, target Target) *Result {
 	}()
 	if err != nil {
 		res.Error = fmt.Sprintf("get endpoints: %v", err)
+		ex.EndSpan("open", openStart, res.Error)
 		return res
 	}
 	res.ReachedOPCUA = true
@@ -202,6 +246,7 @@ func (s *Scanner) Grab(ctx context.Context, target Target) *Result {
 
 	// Step 2: discovery references (FindServers) for follow-ups.
 	s.followDiscovery(ctx, url, res)
+	ex.EndSpan("open", openStart, "")
 
 	// Step 3: secure-channel attempt with our self-signed certificate
 	// whenever Sign or SignAndEncrypt is offered. The channel is kept
@@ -209,7 +254,9 @@ func (s *Scanner) Grab(ctx context.Context, target Target) *Result {
 	policy, mode := strongestSecure(res.Endpoints)
 	var secure *uaclient.Client
 	if policy != nil {
+		hsStart := ex.Start()
 		secure = s.attemptSecureChannel(ctx, url, res, policy, mode)
+		ex.EndSpan("handshake", hsStart, res.SecureChannel.Error)
 	}
 
 	// Step 4: anonymous session and address-space traversal. When the
@@ -219,18 +266,22 @@ func (s *Scanner) Grab(ctx context.Context, target Target) *Result {
 	// enforce a single secure configuration.
 	res.Session.Offered = anonymousOffered(res.Endpoints)
 	if res.Session.Offered {
+		sessStart := ex.Start()
 		sessPolicy, sessMode := channelForSession(res.Endpoints)
 		if secure != nil && sessPolicy == policy && sessMode == mode {
 			s.runAnonymousSession(ctx, secure, res)
 		} else {
 			s.attemptAnonymous(ctx, url, res, sessPolicy, sessMode)
 		}
+		ex.EndSpan("session", sessStart, res.Session.Error)
 	}
+	closeStart := ex.Start()
 	if secure != nil {
 		r, w := secure.BytesTransferred()
 		res.BytesTransferred += r + w
 		_ = secure.Close()
 	}
+	ex.EndSpan("close", closeStart, "")
 	return res
 }
 
@@ -348,6 +399,9 @@ func (s *Scanner) attemptSecureChannel(ctx context.Context, url string, res *Res
 		var ce uamsg.ConnError
 		if errors.As(err, &ce) && ce.Code == uastatus.BadSecurityChecksFailed {
 			res.SecureChannel.CertRejected = true
+			if cm := s.channelMetrics(policy, mode); cm != nil {
+				cm.CertRejected.Inc()
+			}
 		}
 		r, w := c.BytesTransferred()
 		res.BytesTransferred += r + w

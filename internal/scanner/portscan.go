@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // PortScanConfig tunes the zmap-style discovery stage.
@@ -18,6 +19,12 @@ type PortScanConfig struct {
 	Rate    int
 	Workers int
 	Seed    uint64
+	// Metrics receives probe/open-port counters (scan_probes,
+	// scan_open_ports); nil disables telemetry at zero cost. Workers
+	// batch counts locally and flush at the existing context-check
+	// cadence, so the probe loop itself stays allocation-free either
+	// way.
+	Metrics *telemetry.Registry
 }
 
 // ctxCheckInterval bounds how many unlimited-rate probes a shard worker
@@ -89,6 +96,10 @@ func PortScanRange(ctx context.Context, nw simnet.View, cfg PortScanConfig, lo, 
 	if workers == 0 {
 		return nil, ctx.Err()
 	}
+	// Instrument handles resolve once here, never inside the probe loop;
+	// on a nil registry they are nil and every flush is one pointer check.
+	probesC := cfg.Metrics.Counter("scan_probes")
+	openC := cfg.Metrics.Counter("scan_open_ports")
 	shards := make([][]netip.Addr, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -102,7 +113,14 @@ func PortScanRange(ctx context.Context, nw simnet.View, cfg PortScanConfig, lo, 
 		go func(w int, lo, hi uint64) {
 			defer wg.Done()
 			var open []netip.Addr
-			defer func() { shards[w] = open }()
+			// Probe counts batch in a local and flush at the context-check
+			// cadence plus once at exit, keeping the loop free of atomics.
+			var probed uint64
+			defer func() {
+				shards[w] = open
+				probesC.Add(probed)
+				openC.Add(uint64(len(open)))
+			}()
 			for i := lo; i < hi; i++ {
 				if limiter != nil {
 					// The ticker is shared: the aggregate probe rate
@@ -112,9 +130,14 @@ func PortScanRange(ctx context.Context, nw simnet.View, cfg PortScanConfig, lo, 
 						return
 					case <-limiter.C:
 					}
-				} else if i%ctxCheckInterval == 0 && ctx.Err() != nil {
-					return
+				} else if i%ctxCheckInterval == 0 {
+					if ctx.Err() != nil {
+						return
+					}
+					probesC.Add(probed)
+					probed = 0
 				}
+				probed++
 				addr, err := u.AddrAt(perm.At(i))
 				if err != nil {
 					continue

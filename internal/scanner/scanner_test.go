@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/addrspace"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/uacert"
 	"repro/internal/uaclient"
 	"repro/internal/uamsg"
@@ -579,6 +580,26 @@ func BenchmarkPortScan64K(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPortScanTelemetry pairs disabled and enabled telemetry over
+// the same sweep; benchjson -overhead-delta gates the allocation gap
+// between the two, and the BENCH budget pins the disabled path so the
+// nil-registry fast path can never start allocating.
+func BenchmarkPortScanTelemetry(b *testing.B) {
+	prefix, _ := simnet.NewPrefix("10.0.0.0", 16)
+	nw := simnet.New(simnet.NewUniverse(prefix))
+	nw.SetNoise(0.001)
+	run := func(b *testing.B, reg *telemetry.Registry) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := PortScan(context.Background(), nw, PortScanConfig{Workers: 32, Metrics: reg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("telemetry=off", func(b *testing.B) { run(b, nil) })
+	b.Run("telemetry=on", func(b *testing.B) { run(b, telemetry.New()) })
 }
 
 func BenchmarkPermutation(b *testing.B) {

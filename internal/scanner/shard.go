@@ -73,6 +73,11 @@ func runWaveRange(ctx context.Context, nw simnet.View, sc *Scanner, cfg WaveConf
 	if cfg.MaxFollowDepth <= 0 {
 		cfg.MaxFollowDepth = 2
 	}
+	if cfg.PortScan.Metrics == nil {
+		// The discovery stage reports under the same scope as the grab
+		// stage unless the caller split them deliberately.
+		cfg.PortScan.Metrics = cfg.Metrics
+	}
 	open, err := PortScanRange(ctx, nw, cfg.PortScan, lo, hi)
 	if err != nil {
 		return &Wave{Date: cfg.Date, OpenPorts: len(open), Partial: true,

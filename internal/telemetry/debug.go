@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"sync"
+)
+
+var (
+	debugMu  sync.Mutex
+	debugVar *expvar.Map
+)
+
+// ServeDebug starts an HTTP listener on addr exposing the registry as
+// the expvar "telemetry" variable (a live Snapshot) alongside the
+// stdlib /debug/pprof endpoints — the live-campaign escape hatch; the
+// snapshot NDJSON stream remains the canonical record. Returns the
+// bound address (addr may use port 0). The listener lives until the
+// process exits; repeat calls rebind the published registry.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	debugMu.Lock()
+	if debugVar == nil {
+		debugVar = expvar.NewMap("telemetry")
+	}
+	debugVar.Init()
+	debugVar.Set("snapshot", snapshotVar{reg})
+	debugMu.Unlock()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		_ = http.Serve(ln, nil) // DefaultServeMux: /debug/vars + /debug/pprof
+	}()
+	return ln.Addr().String(), nil
+}
+
+// snapshotVar renders a fresh registry snapshot on every expvar read.
+type snapshotVar struct{ reg *Registry }
+
+func (v snapshotVar) String() string {
+	b, err := json.Marshal(v.reg.Snapshot())
+	if err != nil {
+		return `{}`
+	}
+	return string(b)
+}

@@ -1,0 +1,20 @@
+package telemetry
+
+import "sync"
+
+// SerializedProgressf wraps a progress callback in a mutex so status
+// lines from concurrent waves and shards never interleave mid-line.
+// The campaign runtime applies this to every user-supplied Progressf
+// before fan-out; wrapping nil yields nil so the disabled path stays a
+// single pointer check.
+func SerializedProgressf(f func(format string, args ...any)) func(format string, args ...any) {
+	if f == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		f(format, args...)
+	}
+}

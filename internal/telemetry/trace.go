@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Span is one timed phase of an exchange (open, handshake, session,
+// close). StartUnixNs/DurNs are wall-clock observations and therefore
+// excluded from any determinism contract; the span *sequence* for a
+// given (seed, wave, address) is deterministic.
+type Span struct {
+	Name        string `json:"name"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	DurNs       int64  `json:"dur_ns"`
+	Err         string `json:"err,omitempty"`
+}
+
+// Exchange is the span trace of one grab: everything that happened to
+// one address in one wave, under a deterministic ID.
+type Exchange struct {
+	ID      uint64 `json:"id"`
+	Wave    int    `json:"wave"`
+	Address string `json:"address"`
+	Spans   []Span `json:"spans,omitempty"`
+}
+
+// ExchangeID derives the deterministic exchange identity from
+// (seed, wave, address) via FNV-1a 64: two runs of the same campaign
+// trace the same exchange under the same ID regardless of scheduling.
+func ExchangeID(seed int64, wave int, address string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(seed) >> (8 * i)))
+	}
+	for i := 0; i < 4; i++ {
+		mix(byte(uint32(wave) >> (8 * i)))
+	}
+	for i := 0; i < len(address); i++ {
+		mix(address[i])
+	}
+	return h
+}
+
+// NewExchange starts an exchange trace. A nil receiver everywhere
+// downstream keeps disabled tracing at one pointer check.
+func NewExchange(seed int64, wave int, address string) *Exchange {
+	return &Exchange{ID: ExchangeID(seed, wave, address), Wave: wave, Address: address}
+}
+
+// Start returns the span clock (0 without a clock read when nil).
+func (e *Exchange) Start() int64 {
+	if e == nil {
+		return 0
+	}
+	return NowNs()
+}
+
+// EndSpan appends a completed span. errStr is "" on success.
+func (e *Exchange) EndSpan(name string, startNs int64, errStr string) {
+	if e == nil {
+		return
+	}
+	e.Spans = append(e.Spans, Span{
+		Name:        name,
+		StartUnixNs: startNs,
+		DurNs:       NowNs() - startNs,
+		Err:         errStr,
+	})
+}
+
+// DefaultTraceCapacity bounds the tracer ring buffer.
+const DefaultTraceCapacity = 4096
+
+// Tracer is a bounded ring buffer of completed exchanges: the newest
+// DefaultTraceCapacity (or the configured capacity) are retained, older
+// ones overwritten. A nil *Tracer is a no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []*Exchange
+	next  int
+	total int
+}
+
+// NewTracer builds a tracer retaining up to capacity exchanges
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]*Exchange, capacity)}
+}
+
+// Record stores a completed exchange (no-op on nil tracer or nil
+// exchange).
+func (t *Tracer) Record(e *Exchange) {
+	if t == nil || e == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Exchanges returns the retained exchanges, oldest first.
+func (t *Tracer) Exchanges() []*Exchange {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Exchange, 0, len(t.ring))
+	for i := 0; i < len(t.ring); i++ {
+		if e := t.ring[(t.next+i)%len(t.ring)]; e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Total reports how many exchanges were ever recorded (including ones
+// the ring has since overwritten).
+func (t *Tracer) Total() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// WriteNDJSON dumps the retained exchanges, one JSON object per line,
+// oldest first.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Exchanges() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/uamsg"
 	"repro/internal/uapolicy"
 	"repro/internal/uarsa"
@@ -168,6 +169,10 @@ type ChannelSecurity struct {
 	// (both optional; see uasc.ChannelSecurity and package uarsa).
 	Engine *uarsa.Engine
 	Derive *uarsa.Derivation
+
+	// Metrics observes the handshake under the caller's (policy, mode)
+	// scope (optional; see uasc.ChannelSecurity).
+	Metrics *telemetry.ChannelMetrics
 }
 
 // OpenChannel opens the secure channel. Must be called exactly once.
@@ -184,6 +189,7 @@ func (c *Client) OpenChannel(sec ChannelSecurity) error {
 		RemoteCertDER: sec.RemoteCertDER,
 		Engine:        sec.Engine,
 		Derive:        sec.Derive,
+		Metrics:       sec.Metrics,
 	}, 3600000)
 	if err != nil {
 		return err

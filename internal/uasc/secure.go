@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/uacert"
 	"repro/internal/uamsg"
 	"repro/internal/uapolicy"
@@ -41,6 +42,12 @@ type ChannelSecurity struct {
 	// makes the engine hit across waves (DESIGN.md §4). On the server
 	// side Accept populates it from a digest of the client's OPN request.
 	Derive *uarsa.Derivation
+
+	// Metrics, when non-nil, observes the client handshake: attempt
+	// count, OPN round-trip latency, and outcome, under the caller's
+	// (policy, mode) scope. Purely observational — it never alters the
+	// exchange — and nil (the default) costs one pointer check.
+	Metrics *telemetry.ChannelMetrics
 }
 
 // CryptoContext assembles the uapolicy context for one labeled
@@ -334,8 +341,18 @@ func open(msgType string, chunkFlag byte, body []byte, prefixLen int, o openOpts
 // --- Client side ---
 
 // Open establishes a secure channel as a client. The transport must have
-// completed the Hello/Acknowledge handshake.
+// completed the Hello/Acknowledge handshake. When sec.Metrics is set the
+// whole handshake — OPN request, response, key derivation — is timed as
+// one observation.
 func Open(t *Transport, sec ChannelSecurity, lifetimeMS uint32) (*Channel, error) {
+	begin := sec.Metrics.Begin()
+	ch, err := openChannel(t, sec, lifetimeMS)
+	sec.Metrics.Done(begin, err == nil)
+	return ch, err
+}
+
+// openChannel is Open's body, unobserved.
+func openChannel(t *Transport, sec ChannelSecurity, lifetimeMS uint32) (*Channel, error) {
 	ch := &Channel{t: t, sec: sec, nextReqID: 1}
 	if sec.Policy == nil {
 		return nil, errors.New("uasc: nil policy")

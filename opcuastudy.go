@@ -24,6 +24,7 @@ import (
 	"io"
 	"net/netip"
 	"slices"
+	"strconv"
 	"sync"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/scanner"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/uacert"
 	"repro/internal/uaclient"
 	"repro/internal/uarsa"
@@ -127,9 +129,28 @@ type CampaignConfig struct {
 	// (the analysis runs before anonymization, like the paper's).
 	Anonymize bool
 	// Quiet suppresses progress output; otherwise Progressf receives
-	// status lines. Progressf may be called from multiple goroutines
-	// concurrently unless Sequential is set.
+	// status lines. The campaign runtime serializes the callback
+	// (telemetry.SerializedProgressf) before any fan-out, so even with
+	// concurrent waves and shards the callback never runs concurrently
+	// with itself and status lines cannot tear.
 	Progressf func(format string, args ...any)
+	// Telemetry, when non-nil, receives the campaign's operational
+	// metrics: port-scan probe counts, grab-queue depth/wait, handshake
+	// latency and outcomes per (policy, mode), the uarsa engine's
+	// hit/miss/evict counters, and per-wave record counts — all under a
+	// wave="<n>" scope per wave. Telemetry is strictly observational:
+	// the dataset of a campaign with Telemetry set is byte-identical to
+	// one without (gated under -race by the equivalence tests). Nil
+	// disables every instrument at the cost of one pointer check.
+	// Lifecycle: the registry is caller-owned and campaign-scoped — one
+	// registry per RunCampaignOnWorld call; multi-process shard workers
+	// each own a process-scoped registry whose final snapshot the
+	// coordinator merges (cmd/measure -shards -metrics).
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, records one span-style exchange per grab
+	// (open→handshake→session→close) under deterministic IDs derived
+	// from (Seed, wave, address), into the tracer's bounded ring.
+	Trace *telemetry.Tracer
 }
 
 // Campaign is a completed (or running) measurement campaign.
@@ -211,6 +232,9 @@ func (cfg CampaignConfig) newScannerBase(world *deploy.World) (scanner.Scanner, 
 		}
 	}
 	world.SetCrypto(suite.EngineOrNil(), suite != nil)
+	// Re-export the engine's counters through the campaign registry so
+	// telemetry snapshots carry crypto_* alongside everything else.
+	suite.EngineOrNil().PublishTo(cfg.Telemetry)
 
 	return scanner.Scanner{
 		Key:     key,
@@ -315,6 +339,10 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaign, error) {
 // are absent from Scans. Campaign.Long is only computed on full
 // success.
 func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.World) (*Campaign, error) {
+	// Serialize the progress callback once, before any fan-out: waves,
+	// shards, and workers then share one mutex-guarded writer and status
+	// lines never interleave mid-line.
+	cfg.Progressf = telemetry.SerializedProgressf(cfg.Progressf)
 	base, suite, err := cfg.newScannerBase(world)
 	if err != nil {
 		return nil, err
@@ -368,10 +396,15 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 	analyze := func(i int, wave *scanner.Wave) {
 		w, date := waves[i], deploy.WaveDates[waves[i]]
 		acc := core.NewWaveAccumulator(w, date)
+		// campaign_records{wave=w} is the accounting counter: its total
+		// across waves must equal the dataset's record count exactly —
+		// the invariant the metrics-accounting tests pin.
+		recordsC := cfg.Telemetry.Scope("wave", strconv.Itoa(w)).Counter("campaign_records")
 		var recs []*dataset.HostRecord
 		for _, res := range wave.OPCUAResults() {
 			rec := dataset.FromResult(res, w, date, asnOf(views[i], res.Address))
 			acc.Add(rec)
+			recordsC.Inc()
 			if !cfg.DiscardRecords {
 				recs = append(recs, rec)
 			}
@@ -403,14 +436,20 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 	scanOne := func(i int) (*scanner.Wave, error) {
 		w, date := waves[i], deploy.WaveDates[waves[i]]
 		cfg.progressf("wave %d (%s): scanning...", w, date.Format("2006-01-02"))
+		waveScope := cfg.Telemetry.Scope("wave", strconv.Itoa(w))
 		sc := base
 		sc.Dialer = views[i]
+		sc.Metrics = waveScope
+		sc.Trace = cfg.Trace
+		sc.TraceSeed = cfg.Seed
+		sc.TraceWave = w
 		wcfg := scanner.WaveConfig{
 			Date:             date,
 			FollowReferences: w >= deploy.FollowReferencesFromWave,
 			GrabWorkers:      workers,
 			QueueSize:        cfg.QueueSize,
 			Barrier:          cfg.Barrier,
+			Metrics:          waveScope,
 		}
 		if cfg.Shards <= 1 {
 			return scanner.RunWave(ctx, views[i], &sc, wcfg)
@@ -568,6 +607,7 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 // AnalyzeRecords/AnalyzeDataset skip empty waves when reproducing
 // figures from a released dataset.
 func RunCampaignShard(ctx context.Context, cfg CampaignConfig, world *deploy.World, shards, shard int, sink pipeline.RecordSink) error {
+	cfg.Progressf = telemetry.SerializedProgressf(cfg.Progressf)
 	base, _, err := cfg.newScannerBase(world)
 	if err != nil {
 		return err
@@ -587,14 +627,24 @@ func RunCampaignShard(ctx context.Context, cfg CampaignConfig, world *deploy.Wor
 		plan := scanner.PlanWaveShards(view, shards)
 		cfg.progressf("wave %d (%s): scanning shard %d/%d...",
 			w, date.Format("2006-01-02"), shard, plan.Shards)
+		// The worker's registry is process-scoped: wave labels here match
+		// the coordinator's, the shard identity rides on Snapshot.Shard,
+		// so per-shard finals merge key-aligned into the campaign total.
+		waveScope := cfg.Telemetry.Scope("wave", strconv.Itoa(w))
+		recordsC := waveScope.Counter("campaign_records")
 		sc := base
 		sc.Dialer = view
+		sc.Metrics = waveScope
+		sc.Trace = cfg.Trace
+		sc.TraceSeed = cfg.Seed
+		sc.TraceWave = w
 		wave, err := scanner.RunWaveShard(ctx, view, &sc, scanner.WaveConfig{
 			Date:             date,
 			FollowReferences: w >= deploy.FollowReferencesFromWave,
 			GrabWorkers:      workers,
 			QueueSize:        cfg.QueueSize,
 			Barrier:          cfg.Barrier,
+			Metrics:          waveScope,
 		}, plan, shard)
 		if err != nil {
 			return fmt.Errorf("opcuastudy: wave %d shard %d: %w", w, shard, err)
@@ -603,6 +653,7 @@ func RunCampaignShard(ctx context.Context, cfg CampaignConfig, world *deploy.Wor
 			if err := sink.Put(dataset.FromResult(res, w, date, asnOf(view, res.Address))); err != nil {
 				return fmt.Errorf("opcuastudy: wave %d shard %d: sink: %w", w, shard, err)
 			}
+			recordsC.Inc()
 		}
 	}
 	return nil

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 )
 
 // The end-to-end fixture runs the paper's final measurement (wave 7)
@@ -342,10 +343,12 @@ func TestFullFidelityPaperAssertions(t *testing.T) {
 	if os.Getenv("OPCUA_FULL_FIDELITY") == "" {
 		t.Skip("set OPCUA_FULL_FIDELITY=1 to run the full-fidelity campaign")
 	}
+	reg := telemetry.New()
 	c, err := RunCampaign(context.Background(), CampaignConfig{
 		Seed:        2020,
 		NoiseProb:   0.002,
 		GrabWorkers: 32,
+		Telemetry:   reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -353,6 +356,13 @@ func TestFullFidelityPaperAssertions(t *testing.T) {
 	assertPaperHeadlines(t, c)
 	if c.CryptoStats == nil || c.CryptoStats.Total().HitRate() < 0.5 {
 		t.Errorf("crypto cache underperformed: %+v", c.CryptoStats)
+	}
+	var total uint64
+	for _, recs := range c.RecordsByWave {
+		total += uint64(len(recs))
+	}
+	if got := reg.Snapshot().CounterTotal("campaign_records"); got != total {
+		t.Errorf("campaign_records = %d, want %d (full-fidelity accounting)", got, total)
 	}
 }
 
@@ -377,6 +387,115 @@ func assertPaperHeadlines(tb testing.TB, c *Campaign) {
 	}
 	if c.Long == nil || len(c.Long.Renewals) != 84 {
 		tb.Errorf("renewals missing or wrong, want 84 (long=%v)", c.Long != nil)
+	}
+}
+
+// TestCampaignConcurrentTelemetryMatchesDisabled is the tentpole
+// acceptance gate for the telemetry subsystem: a concurrent-wave
+// campaign with the full observability surface live (registry, scoped
+// instruments, exchange tracer) must produce a byte-identical dataset
+// and identical analyses to the same campaign with telemetry disabled —
+// observers never mutate campaign state. It also pins the accounting
+// invariant (campaign_records equals the dataset record count, per wave
+// and in total) and the determinism of exchange IDs. The name matches
+// the CI race-run pattern 'TestCampaignConcurrent', so the observed run
+// races its instrument updates against the snapshotting goroutine
+// under -race.
+func TestCampaignConcurrentTelemetryMatchesDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign equivalence skipped in -short mode")
+	}
+	cfg := CampaignConfig{
+		Seed:         2020,
+		Waves:        []int{6, 7},
+		TestKeySizes: true,
+		// The first ~250 hosts of the population ordering offer no secure
+		// endpoints; 400 keeps the fixture small while still driving the
+		// handshake instruments (policy/mode scopes, latency histogram).
+		MaxHosts:    400,
+		NoiseProb:   1e-5,
+		GrabWorkers: 8,
+		WaveWorkers: 2,
+	}
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RunCampaignOnWorld(context.Background(), cfg, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	observed := cfg
+	observed.Telemetry = telemetry.New()
+	observed.Trace = telemetry.NewTracer(0)
+	// A concurrent snapshotter reads the registry while the campaign
+	// writes it: snapshots must never perturb the run (or trip -race).
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = observed.Telemetry.Snapshot()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	obs, err := RunCampaignOnWorld(context.Background(), observed, world)
+	close(stop)
+	snapWG.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	normalizeWallClock(plain)
+	normalizeWallClock(obs)
+	if a, b := datasetBytes(t, obs), datasetBytes(t, plain); !bytes.Equal(a, b) {
+		t.Errorf("telemetry changed the dataset: %d bytes vs %d bytes", len(a), len(b))
+	}
+	if !reflect.DeepEqual(obs.Analyses, plain.Analyses) {
+		t.Error("wave analyses differ with telemetry enabled")
+	}
+	if !reflect.DeepEqual(obs.Long, plain.Long) {
+		t.Error("longitudinal analysis differs with telemetry enabled")
+	}
+
+	snap := observed.Telemetry.Snapshot()
+	total := 0
+	for _, w := range cfg.Waves {
+		n := len(obs.RecordsByWave[w])
+		total += n
+		key := `campaign_records{wave="` + strconv.Itoa(w) + `"}`
+		if got := snap.Counters[key]; got != uint64(n) {
+			t.Errorf("%s = %d, want %d", key, got, n)
+		}
+	}
+	if got := snap.CounterTotal("campaign_records"); got != uint64(total) {
+		t.Errorf("campaign_records total = %d, want %d (every dataset record accounted)", got, total)
+	}
+	if snap.CounterTotal("handshake_attempts") == 0 {
+		t.Error("no handshake attempts recorded")
+	}
+	if snap.CounterTotal("scan_probes") == 0 {
+		t.Error("no scan probes recorded")
+	}
+
+	exchanges := observed.Trace.Exchanges()
+	if len(exchanges) == 0 {
+		t.Fatal("tracer recorded no exchanges")
+	}
+	for _, ex := range exchanges {
+		if want := telemetry.ExchangeID(cfg.Seed, ex.Wave, ex.Address); ex.ID != want {
+			t.Errorf("exchange %s wave %d: ID %d, want deterministic %d", ex.Address, ex.Wave, ex.ID, want)
+		}
+		if len(ex.Spans) == 0 {
+			t.Errorf("exchange %s has no spans", ex.Address)
+		}
 	}
 }
 
@@ -815,6 +934,106 @@ func TestShardedCampaignByteIdentical(t *testing.T) {
 		if !reflect.DeepEqual(long, wantLong) {
 			t.Errorf("shards=%d subprocess: longitudinal differs", shards)
 		}
+	}
+}
+
+// TestMeasureMetricsAccounting runs a sharded cmd/measure campaign with
+// -metrics and pins the snapshot-stream contract: the output carries
+// one final snapshot per shard, their merged "total", and the merge
+// stage's own snapshot whose campaign_records counters equal the merged
+// dataset's record count exactly — every record in the released dataset
+// is accounted for. Worker counts may exceed the merged count (shards
+// can grab the same follow-up reference; the merge dedups), so the
+// workers' sums bound the merge count from above.
+func TestMeasureMetricsAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess campaign skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "measure")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/measure").CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/measure: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+	merged := filepath.Join(dir, "merged.jsonl")
+	metrics := filepath.Join(dir, "metrics.ndjson")
+	cmd := exec.Command(bin,
+		"-shards", "2",
+		"-seed", "2020", "-waves", "6,7", "-testkeys",
+		"-max-hosts", "60", "-noise", "1e-5", "-grab-workers", "8",
+		"-dataset", merged, "-metrics", metrics)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, out)
+	}
+
+	f, err := os.Open(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := dataset.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWave := map[int]uint64{}
+	for _, r := range recs {
+		perWave[r.Wave]++
+	}
+
+	mf, err := os.Open(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := telemetry.ReadSnapshots(mf)
+	mf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byShard := map[string]*telemetry.Snapshot{}
+	for _, s := range snaps {
+		if !s.Final {
+			t.Errorf("non-final snapshot (shard %q) in the coordinator's merged output", s.Shard)
+		}
+		byShard[s.Shard] = s
+	}
+	for _, want := range []string{"0", "1", "total", "merge"} {
+		if byShard[want] == nil {
+			t.Fatalf("metrics output missing %q snapshot (have %d lines)", want, len(snaps))
+		}
+	}
+
+	mergeSnap := byShard["merge"]
+	if got := mergeSnap.CounterTotal("campaign_records"); got != uint64(len(recs)) {
+		t.Errorf("merge campaign_records = %d, want %d (merged dataset records)", got, len(recs))
+	}
+	for w, n := range perWave {
+		key := `campaign_records{wave="` + strconv.Itoa(w) + `"}`
+		if got := mergeSnap.Counters[key]; got != n {
+			t.Errorf("merge %s = %d, want %d", key, got, n)
+		}
+	}
+
+	var workerSum uint64
+	for _, shard := range []string{"0", "1"} {
+		s := byShard[shard]
+		n := s.CounterTotal("campaign_records")
+		if n == 0 {
+			t.Errorf("shard %s emitted no records", shard)
+		}
+		workerSum += n
+		if s.CounterTotal("scan_probes") == 0 {
+			t.Errorf("shard %s recorded no scan probes", shard)
+		}
+		if s.CounterTotal("sink_records") != n {
+			t.Errorf("shard %s: sink_records = %d, want %d (every emitted record through the sink)",
+				shard, s.CounterTotal("sink_records"), n)
+		}
+	}
+	if workerSum < uint64(len(recs)) {
+		t.Errorf("workers emitted %d records, fewer than the %d merged", workerSum, len(recs))
+	}
+	wantTotal := byShard["0"].CounterTotal("scan_probes") + byShard["1"].CounterTotal("scan_probes")
+	if got := byShard["total"].CounterTotal("scan_probes"); got != wantTotal {
+		t.Errorf("total scan_probes = %d, want %d (sum of shards)", got, wantTotal)
 	}
 }
 
