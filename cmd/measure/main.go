@@ -40,6 +40,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	opcuastudy "repro"
 	"repro/internal/core"
@@ -94,6 +95,13 @@ func main() {
 	shards := flag.Int("shards", 0, "shard every wave's probe space N ways across worker subprocesses (coordinator mode unless -shard is set)")
 	shard := flag.Int("shard", -1, "worker mode: scan only this shard (0-based; requires -shards)")
 	merge := flag.String("merge", "", "merge pre-produced worker shard streams (comma-separated JSONL files) instead of scanning")
+	workerTimeout := flag.Duration("worker-timeout", 30*time.Minute, "coordinator mode: kill shard workers still running after this long (0 = wait forever)")
+	listenAddr := flag.String("listen", "", "fabric coordinator mode: lease shards to networked workers on this address (with -shards)")
+	connectAddr := flag.String("connect", "", "fabric worker mode: dial this coordinator and execute leased shards")
+	workerName := flag.String("name", "", "fabric worker name (default worker-<pid>)")
+	faultSpec := flag.String("fault", "", "fabric fault injection for tests: worker kill=N | stall=N | drop=N, coordinator dupgrant")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "fabric worker heartbeat cadence (coordinator: advertised in the campaign spec)")
+	deadAfter := flag.Duration("dead-after", 10*time.Second, "fabric coordinator: declare a worker dead after this heartbeat gap and re-queue its shards")
 	metricsPath := flag.String("metrics", "", "stream telemetry snapshots as NDJSON to this file (\"-\" = stdout); sharded runs emit per-shard and merged snapshots")
 	metricsInterval := flag.Duration("metrics-interval", 0, "periodic snapshot cadence (0 = closing snapshot only)")
 	tracePath := flag.String("trace", "", "dump the span-style exchange trace as NDJSON to this file (single-process mode)")
@@ -130,10 +138,14 @@ func main() {
 	switch {
 	case *merge != "":
 		err = mergeShards(cfg, strings.Split(*merge, ","), *datasetPath, *csv, mopts, nil)
+	case *connectAddr != "":
+		err = runFabricWorker(cfg, *connectAddr, *workerName, *faultSpec, *heartbeat, mopts)
+	case *listenAddr != "":
+		err = runFabricCoordinator(cfg, *listenAddr, *shards, *deadAfter, *heartbeat, *faultSpec, *datasetPath, *csv, mopts)
 	case *shard >= 0:
 		err = runWorker(cfg, *shards, *shard, *datasetPath, mopts)
 	case *shards > 1:
-		err = coordinate(cfg, *shards, *datasetPath, *csv, mopts)
+		err = coordinate(cfg, *shards, *datasetPath, *csv, mopts, *workerTimeout)
 	default:
 		err = runSingle(cfg, *datasetPath, *csv, mopts)
 	}
@@ -196,7 +208,8 @@ func runSingle(cfg opcuastudy.CampaignConfig, datasetPath string, csv bool, mopt
 // the coordinator can merge the final snapshots.
 func runWorker(cfg opcuastudy.CampaignConfig, shards, shard int, datasetPath string, mopts metricsOptions) error {
 	if shards < 1 || shard >= shards {
-		return fmt.Errorf("-shard %d requires -shards > %d", shard, shard)
+		return fmt.Errorf("-shard %d requires -shards of at least %d, got -shards %d (valid -shard values are 0..shards-1)",
+			shard, shard+1, shards)
 	}
 	if cfg.Anonymize {
 		fmt.Fprintln(os.Stderr, "worker mode emits raw records; -anonymize applies at merge time")
@@ -249,11 +262,12 @@ func runWorker(cfg opcuastudy.CampaignConfig, shards, shard int, datasetPath str
 	return nil
 }
 
-// coordinate spawns one worker subprocess per shard, waits, and merges
-// their streams into the analyzed campaign. With -metrics, each worker
-// streams its own shard-tagged snapshots into a scratch file and the
-// coordinator folds the final ones into the merged metrics output.
-func coordinate(cfg opcuastudy.CampaignConfig, shards int, datasetPath string, csv bool, mopts metricsOptions) error {
+// coordinate spawns one worker subprocess per shard, waits (bounded by
+// workerTimeout), and merges their streams into the analyzed campaign.
+// With -metrics, each worker streams its own shard-tagged snapshots
+// into a scratch file and the coordinator folds the final ones into
+// the merged metrics output.
+func coordinate(cfg opcuastudy.CampaignConfig, shards int, datasetPath string, csv bool, mopts metricsOptions, workerTimeout time.Duration) error {
 	exe, err := os.Executable()
 	if err != nil {
 		return err
@@ -310,11 +324,49 @@ func coordinate(cfg opcuastudy.CampaignConfig, shards int, datasetPath string, c
 		}
 		cmds = append(cmds, cmd)
 	}
-	failed := false
+	// Reap with a bound: a wedged worker (deadlocked, stuck on I/O)
+	// must not hang the coordinator forever. On timeout the stragglers
+	// are killed, still reaped (no zombies), and named in the campaign
+	// error.
+	type reaped struct {
+		shard int
+		err   error
+	}
+	waits := make(chan reaped, len(cmds))
 	for i, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
-			log.Printf("shard %d worker failed: %v", i, err)
-			failed = true
+		go func(i int, cmd *exec.Cmd) {
+			waits <- reaped{i, cmd.Wait()}
+		}(i, cmd)
+	}
+	var deadline <-chan time.Time
+	if workerTimeout > 0 {
+		t := time.NewTimer(workerTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	failed := false
+	exited := make([]bool, len(cmds))
+	for n := 0; n < len(cmds); n++ {
+		select {
+		case r := <-waits:
+			exited[r.shard] = true
+			if r.err != nil {
+				log.Printf("shard %d worker failed: %v", r.shard, r.err)
+				failed = true
+			}
+		case <-deadline:
+			var wedged []int
+			for i, done := range exited {
+				if !done {
+					wedged = append(wedged, i)
+					cmds[i].Process.Kill()
+				}
+			}
+			for ; n < len(cmds); n++ {
+				<-waits
+			}
+			return fmt.Errorf("shard workers %v still running after -worker-timeout %s; killed, not merging partial streams",
+				wedged, workerTimeout)
 		}
 	}
 	if failed {
@@ -343,7 +395,15 @@ func mergeShards(cfg opcuastudy.CampaignConfig, paths []string, datasetPath stri
 		defer f.Close()
 		decoders = append(decoders, dataset.NewDecoder(f))
 	}
+	return mergeStreams(cfg, decoders, datasetPath, csv, mopts, workerMetrics)
+}
 
+// mergeStreams is the transport-independent merge stage shared by the
+// file-based coordinator/merge modes and the network fabric: the
+// decoders may read shard files or committed in-memory fabric streams.
+// Extra snapshots (the fabric coordinator's lease/retry counters) ride
+// along into the metrics output and the summary.
+func mergeStreams(cfg opcuastudy.CampaignConfig, decoders []*dataset.Decoder, datasetPath string, csv bool, mopts metricsOptions, workerMetrics []string, extra ...*telemetry.Snapshot) error {
 	reg := telemetry.New()
 	analyzer := pipeline.NewAnalyzer(pipeline.AnalyzerConfig{
 		Workers: cfg.AnalyzeWorkers,
@@ -387,7 +447,8 @@ func mergeShards(cfg opcuastudy.CampaignConfig, paths []string, datasetPath stri
 	mergeSnap := reg.Snapshot()
 	mergeSnap.Shard = "merge"
 	mergeSnap.Final = true
-	summary, err := writeMergedMetrics(mopts.Path, workerMetrics, mergeSnap)
+	summary, err := writeMergedMetrics(mopts.Path, workerMetrics,
+		append([]*telemetry.Snapshot{mergeSnap}, extra...)...)
 	if err != nil {
 		return err
 	}

@@ -136,12 +136,13 @@ func readFinalSnapshot(path string) (*telemetry.Snapshot, error) {
 
 // writeMergedMetrics emits the sharded campaign's closing metrics: each
 // worker's final shard-tagged snapshot, their merged "total", and the
-// merge stage's own snapshot (whose campaign_records counters are the
-// authoritative post-dedup record counts). It returns the combined
-// snapshot used for the summary table: worker totals with their
-// campaign_records replaced by the merge stage's exact counts, so
-// "dataset records" always equals the merged dataset.
-func writeMergedMetrics(path string, workerMetrics []string, mergeSnap *telemetry.Snapshot) (*telemetry.Snapshot, error) {
+// trailing snapshots — the merge stage's own (whose campaign_records
+// counters are the authoritative post-dedup record counts), plus, for
+// fabric runs, the coordinator's lease/retry snapshot. It returns the
+// combined snapshot used for the summary table: worker totals with
+// their campaign_records replaced by the merge stage's exact counts,
+// so "dataset records" always equals the merged dataset.
+func writeMergedMetrics(path string, workerMetrics []string, trailing ...*telemetry.Snapshot) (*telemetry.Snapshot, error) {
 	var finals []*telemetry.Snapshot
 	for _, p := range workerMetrics {
 		s, err := readFinalSnapshot(p)
@@ -169,7 +170,7 @@ func writeMergedMetrics(path string, workerMetrics []string, mergeSnap *telemetr
 			}
 			out = append(append([]*telemetry.Snapshot{}, finals...), total)
 		}
-		out = append(out, mergeSnap)
+		out = append(out, trailing...)
 		for _, s := range out {
 			if err := telemetry.WriteSnapshot(w, s); err != nil {
 				if c != nil {
@@ -199,7 +200,7 @@ func writeMergedMetrics(path string, workerMetrics []string, mergeSnap *telemetr
 			}
 		}
 	}
-	return telemetry.MergeSnapshots("", append(finals, mergeSnap)...)
+	return telemetry.MergeSnapshots("", append(finals, trailing...)...)
 }
 
 // dumpTrace writes the tracer's retained exchanges as NDJSON.
@@ -283,5 +284,18 @@ func summaryTable(s *telemetry.Snapshot) *report.Table {
 	add("sink blocked (cumulative)", dur(s.CounterTotal("sink_blocked_ns")))
 	add("sink buffer high-water", strconv.FormatInt(s.MaxTotal("sink_buffer_highwater"), 10))
 	add("grab queue high-water", strconv.FormatInt(s.MaxTotal("grab_queue_depth"), 10))
+
+	// Fabric rows appear only for networked campaigns (the counters
+	// exist solely in the coordinator's snapshot).
+	if s.CounterTotal("fabric_workers_joined") > 0 {
+		add("fabric workers joined / dead", fmt.Sprintf("%s / %s",
+			count("fabric_workers_joined"), count("fabric_workers_dead")))
+		add("fabric leases granted", count("fabric_leases_granted"))
+		add("fabric leases re-queued", count("fabric_leases_requeued"))
+		add("fabric leases stolen", count("fabric_leases_stolen"))
+		add("fabric duplicate streams discarded", count("fabric_duplicates_discarded"))
+		add("fabric records received", count("fabric_records_received"))
+		add("fabric max heartbeat gap", dur(uint64(s.MaxTotal("fabric_heartbeat_gap_ns"))))
+	}
 	return t
 }

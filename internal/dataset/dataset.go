@@ -7,8 +7,10 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
@@ -320,34 +322,59 @@ func (e *Encoder) Flush() error {
 // shard merge, the incremental analyzer) never need a whole dataset in
 // memory.
 type Decoder struct {
-	sc   *bufio.Scanner
+	br   *bufio.Reader
 	line int
 }
 
+// ErrTruncatedStream marks a stream whose final line ends mid-record:
+// the writer was cut off (worker death, severed connection) before the
+// line's terminating newline, and the fragment does not parse. Callers
+// that tolerate torn tails — a coordinator discarding a dead worker's
+// partial shard, a merge pass over salvaged files — detect it with
+// errors.Is; a mid-stream parse failure stays a generic error because
+// it means corruption, not truncation.
+var ErrTruncatedStream = errors.New("dataset: stream truncated mid-record")
+
+// maxDecodeLine bounds one NDJSON line (matching the encoder side and
+// the fabric's frame bound) so a corrupt stream cannot balloon memory.
+const maxDecodeLine = 16 << 20
+
 // NewDecoder returns a Decoder reading NDJSON from r.
 func NewDecoder(r io.Reader) *Decoder {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 16<<20)
-	return &Decoder{sc: sc}
+	return &Decoder{br: bufio.NewReaderSize(r, 1<<20)}
 }
 
-// Decode returns the next record, or io.EOF after the last one.
+// Decode returns the next record, or io.EOF after the last one. A
+// final line missing its newline is decoded leniently when it parses;
+// when it does not, the error wraps ErrTruncatedStream.
 func (d *Decoder) Decode() (*HostRecord, error) {
-	for d.sc.Scan() {
-		d.line++
-		if len(d.sc.Bytes()) == 0 {
+	for {
+		raw, err := d.br.ReadBytes('\n')
+		terminated := err == nil
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("dataset: read: %w", err)
+		}
+		line := bytes.TrimRight(raw, "\r\n")
+		if len(line) == 0 {
+			if !terminated {
+				return nil, io.EOF
+			}
+			d.line++
 			continue
 		}
+		d.line++
+		if len(line) > maxDecodeLine {
+			return nil, fmt.Errorf("dataset: line %d exceeds %d bytes", d.line, maxDecodeLine)
+		}
 		rec := new(HostRecord)
-		if err := json.Unmarshal(d.sc.Bytes(), rec); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", d.line, err)
+		if uerr := json.Unmarshal(line, rec); uerr != nil {
+			if !terminated {
+				return nil, fmt.Errorf("dataset: line %d: %w (%v)", d.line, ErrTruncatedStream, uerr)
+			}
+			return nil, fmt.Errorf("dataset: line %d: %w", d.line, uerr)
 		}
 		return rec, nil
 	}
-	if err := d.sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: read: %w", err)
-	}
-	return nil, io.EOF
 }
 
 // Write streams records as JSON lines. It is a compatibility wrapper

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -223,5 +224,62 @@ func TestAnonymizedCopyLeavesOriginal(t *testing.T) {
 	}
 	if rec.Nodes[0].ValueSample == "" {
 		t.Error("original node payload dropped")
+	}
+}
+
+// TestDecoderTruncatedFinalLine pins the torn-tail contract: a stream
+// cut off mid-record (dead worker, severed connection) ends with a
+// typed ErrTruncatedStream, a final line that merely lost its newline
+// still decodes, and mid-stream garbage stays a generic parse error.
+func TestDecoderTruncatedFinalLine(t *testing.T) {
+	recs := []*HostRecord{
+		FromResult(sampleResult(), 6, time.Date(2020, 8, 23, 0, 0, 0, 0, time.UTC), 64601),
+		FromResult(sampleResult(), 7, time.Date(2020, 8, 30, 0, 0, 0, 0, time.UTC), 64602),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Cut mid way through the final record's line.
+	dec := NewDecoder(bytes.NewReader(full[:len(full)-10]))
+	if _, err := dec.Decode(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	_, err := dec.Decode()
+	if err == nil {
+		t.Fatal("truncated final line decoded successfully")
+	}
+	if !errors.Is(err, ErrTruncatedStream) {
+		t.Errorf("truncated final line: err = %v, want ErrTruncatedStream", err)
+	}
+
+	// A final line that parses but lacks its newline decodes leniently.
+	dec = NewDecoder(bytes.NewReader(bytes.TrimRight(full, "\n")))
+	for i := range recs {
+		got, derr := dec.Decode()
+		if derr != nil {
+			t.Fatalf("record %d of newline-less stream: %v", i, derr)
+		}
+		if got.Wave != recs[i].Wave {
+			t.Errorf("record %d: wave %d, want %d", i, got.Wave, recs[i].Wave)
+		}
+	}
+	if _, derr := dec.Decode(); derr != io.EOF {
+		t.Errorf("after newline-less tail: err = %v, want io.EOF", derr)
+	}
+
+	// Mid-stream corruption is not truncation.
+	dec = NewDecoder(strings.NewReader("{\"wave\":6,\n{\"wave\":7}\n"))
+	_, err = dec.Decode()
+	if err == nil || errors.Is(err, ErrTruncatedStream) {
+		t.Errorf("mid-stream garbage: err = %v, want generic parse error", err)
+	}
+
+	// An empty stream is just EOF, not a truncation.
+	dec = NewDecoder(strings.NewReader(""))
+	if _, derr := dec.Decode(); derr != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", derr)
 	}
 }

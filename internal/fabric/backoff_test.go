@@ -1,0 +1,110 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic pins the retry schedule's cross-process
+// determinism: the delay sequence is a pure function of the seed
+// (math/rand's seeded sequence is specified and stable), so two
+// instances — or two processes — with one seed agree delay for delay.
+func TestBackoffDeterministic(t *testing.T) {
+	a := NewBackoff(42, 100*time.Millisecond, 10*time.Second)
+	b := NewBackoff(42, 100*time.Millisecond, 10*time.Second)
+	for i := 0; i < 64; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("delay %d: %v != %v (same seed must yield one schedule)", i, da, db)
+		}
+	}
+	c := NewBackoff(43, 100*time.Millisecond, 10*time.Second)
+	same := true
+	a2 := NewBackoff(42, 100*time.Millisecond, 10*time.Second)
+	for i := 0; i < 8; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+// TestBackoffEnvelopeAndCap pins the shape: the nth delay lies in
+// [d/2, d] for d = min(cap, base<<n), and once capped it stays capped.
+func TestBackoffEnvelopeAndCap(t *testing.T) {
+	base, cap := 100*time.Millisecond, 2*time.Second
+	b := NewBackoff(7, base, cap)
+	for i := 0; i < 32; i++ {
+		want := cap
+		if i < 62 {
+			if grown := base << uint(i); grown > 0 && grown < cap {
+				want = grown
+			}
+		}
+		got := b.Next()
+		if got < want/2 || got > want {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, got, want/2, want)
+		}
+	}
+}
+
+// TestBackoffReset pins the reset contract: the exponent rewinds to
+// base after a success, while the jitter stream keeps advancing (so a
+// fleet that resets together does not retry in lockstep afterwards).
+func TestBackoffReset(t *testing.T) {
+	base, cap := 100*time.Millisecond, 10*time.Second
+	b := NewBackoff(11, base, cap)
+	for i := 0; i < 6; i++ {
+		b.Next()
+	}
+	if b.Attempt() != 6 {
+		t.Fatalf("attempt = %d, want 6", b.Attempt())
+	}
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Fatalf("attempt after reset = %d, want 0", b.Attempt())
+	}
+	first := b.Next()
+	if first < base/2 || first > base {
+		t.Fatalf("post-reset delay %v outside base envelope [%v, %v]", first, base/2, base)
+	}
+
+	// The jitter stream does not rewind: a reset instance's next draws
+	// continue the stream (position 7 onward), they do not replay the
+	// initial prefix.
+	fresh := NewBackoff(11, base, cap)
+	replayed := true
+	bb := NewBackoff(11, base, cap)
+	for i := 0; i < 6; i++ {
+		bb.Next()
+	}
+	bb.Reset()
+	for i := 0; i < 4; i++ {
+		if bb.Next() != fresh.Next() {
+			replayed = false
+			break
+		}
+	}
+	if replayed {
+		t.Fatal("reset replayed the jitter stream from the start; position must encode retry history")
+	}
+}
+
+// TestBackoffDefaults pins the fallback shape so a zero-value config
+// cannot produce a zero-delay hot loop.
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(1, 0, 0)
+	d := b.Next()
+	if d < DefaultBackoffBase/2 || d > DefaultBackoffBase {
+		t.Fatalf("default first delay %v outside [%v, %v]", d, DefaultBackoffBase/2, DefaultBackoffBase)
+	}
+	// cap below base is raised to base: delays never shrink below base/2.
+	b = NewBackoff(1, time.Second, time.Millisecond)
+	for i := 0; i < 4; i++ {
+		if d := b.Next(); d < time.Second/2 || d > time.Second {
+			t.Fatalf("cap<base delay %v outside [%v, %v]", d, time.Second/2, time.Second)
+		}
+	}
+}

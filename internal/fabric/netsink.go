@@ -1,0 +1,72 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/telemetry"
+)
+
+// NetSink is the dialer-side pipeline.RecordSink of one leased shard:
+// every Put frames the record as one NDJSON line tagged with the shard
+// index and writes it under the framer's bounded write deadline. The
+// coordinator buffers the lines verbatim per (worker, shard) and — only
+// after the shard's Done frame — replays them through dataset.Decoder
+// into pipeline.MergeShardStreams, so the network path feeds exactly
+// the decoder/merge machinery the file-based exchange used.
+//
+// A NetSink does not own the connection (the worker session does);
+// Close is a no-op kept for the RecordSink contract. Put is
+// single-goroutine per the RecordSink contract — one shard runs on one
+// goroutine — while the framer's own mutex serializes it against the
+// session's heartbeat frames.
+type NetSink struct {
+	fr      *framer
+	shard   int
+	n       int // records streamed on this shard
+	faults  FaultInjector
+	records *telemetry.Counter
+}
+
+func newNetSink(fr *framer, shard int, faults FaultInjector, records *telemetry.Counter) *NetSink {
+	if faults == nil {
+		faults = NopFaults{}
+	}
+	return &NetSink{fr: fr, shard: shard, faults: faults, records: records}
+}
+
+// Shard reports which shard this sink streams.
+func (s *NetSink) Shard() int { return s.shard }
+
+// Put frames one record. After the frame is on the wire the fault
+// injector may sever the connection, wedge the session, or kill the
+// worker run (ErrWorkerKilled) — the failure points the test matrix
+// drives.
+func (s *NetSink) Put(rec *dataset.HostRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fabric: encode record: %w", err)
+	}
+	line = append(line, '\n')
+	if err := s.fr.send(FrameRecord, shardPayload(s.shard, line)); err != nil {
+		return err
+	}
+	s.n++
+	s.records.Inc()
+	switch s.faults.RecordPut(s.shard, s.n) {
+	case FaultSever:
+		s.fr.conn.Close()
+		return ErrSessionSevered
+	case FaultWedge:
+		s.fr.wedge()
+	case FaultKill:
+		s.fr.conn.Close()
+		return ErrWorkerKilled
+	}
+	return nil
+}
+
+// Close is a no-op: the worker session owns the connection and sends
+// the shard's Done/Fail frame itself.
+func (s *NetSink) Close() error { return nil }

@@ -114,6 +114,11 @@ func DefaultConfig() *Config {
 			// packages; its one sanctioned wall-clock read (NowNs) carries
 			// an entropy-exempt directive, everything else must stay clean.
 			"repro/internal/telemetry",
+			// The shard fabric's retry jitter must replay from its seed
+			// and its deadlines must flow through the injected Clock, so
+			// the transport obeys the same entropy and clock rules as the
+			// record path it carries.
+			"repro/internal/fabric",
 		},
 		EpochVars: []string{"repro/internal/uarsa.Epoch"},
 		SinkPkg:   "repro/internal/pipeline",

@@ -58,3 +58,35 @@ func construct() *pipeline.ChanSink {
 func constructOK(down pipeline.RecordSink) *pipeline.ChanSink {
 	return pipeline.NewChanSink(down, 8)
 }
+
+// netSink mirrors the fabric's network sink: a RecordSink adapter
+// whose Put forwards records onto a transport. Sink methods ARE the
+// sink contract, not producers — no diagnostic expected.
+type netSink struct {
+	frames int
+}
+
+func (s *netSink) Put(r *pipeline.Record) error {
+	s.frames++
+	return nil
+}
+
+func (s *netSink) Close() error { return nil }
+
+var _ pipeline.RecordSink = (*netSink)(nil)
+
+// shardPump mirrors the fabric worker's shard loop: a producer driving
+// a leased shard into a sink, cancellation-aware via ctx.Done().
+func shardPump(ctx context.Context, s pipeline.RecordSink, recs []*pipeline.Record) error {
+	for _, r := range recs {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if err := s.Put(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,6 +2,8 @@ package pipeline
 
 import (
 	"bytes"
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/dataset"
@@ -91,5 +93,32 @@ func TestMergeShardStreamsSingle(t *testing.T) {
 	}
 	if len(slice.Records) != 2 || slice.Records[0].Address != b.Address {
 		t.Errorf("single-stream merge order wrong: %+v", slice.Records)
+	}
+}
+
+// TestMergeShardStreamsSurfacesTruncation pins the error chain the
+// fabric coordinator and the file-merge path rely on: a shard stream
+// torn mid-record fails the merge with dataset.ErrTruncatedStream
+// still detectable through the shard-index wrapping.
+func TestMergeShardStreamsSurfacesTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := dataset.Write(&buf, []*dataset.HostRecord{
+		synthRecord(6, 1, "portscan", 0),
+		synthRecord(6, 2, "portscan", 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	torn := dataset.NewDecoder(bytes.NewReader(buf.Bytes()[:buf.Len()-10]))
+	whole := encodeStream(t, synthRecord(6, 3, "portscan", 0))
+
+	err := MergeShardStreams(&SliceSink{}, whole, torn)
+	if err == nil {
+		t.Fatal("merge accepted a truncated shard stream")
+	}
+	if !errors.Is(err, dataset.ErrTruncatedStream) {
+		t.Errorf("err = %v, want errors.Is(dataset.ErrTruncatedStream)", err)
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("err = %v, want the failing shard index named", err)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/deploy"
+	"repro/internal/fabric"
 	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/scanner"
@@ -697,6 +698,42 @@ func (c *Campaign) WriteDataset(w io.Writer) error {
 		}
 	}
 	return sink.Close()
+}
+
+// FabricSpec derives the networked campaign description a fabric
+// coordinator hands to every joining worker: exactly the CampaignConfig
+// fields that shape record bytes, plus the fleet's shard count and
+// heartbeat cadence. Workers reconstruct their configuration with
+// CampaignFromSpec, so a fleet cannot diverge on flags.
+func (cfg CampaignConfig) FabricSpec(shards int, heartbeat time.Duration) fabric.CampaignSpec {
+	return fabric.CampaignSpec{
+		Seed:         cfg.Seed,
+		Waves:        cfg.Waves,
+		TestKeySizes: cfg.TestKeySizes,
+		NoiseProb:    cfg.NoiseProb,
+		MaxHosts:     cfg.MaxHosts,
+		GrabWorkers:  cfg.GrabWorkers,
+		QueueSize:    cfg.QueueSize,
+		CryptoCache:  cfg.CryptoCache,
+		Shards:       shards,
+		HeartbeatMs:  heartbeat.Milliseconds(),
+	}
+}
+
+// CampaignFromSpec is the worker-side inverse of FabricSpec. Process-
+// local concerns (Telemetry, Progressf, sinks) stay zero for the
+// caller to fill in.
+func CampaignFromSpec(spec fabric.CampaignSpec) CampaignConfig {
+	return CampaignConfig{
+		Seed:         spec.Seed,
+		Waves:        spec.Waves,
+		TestKeySizes: spec.TestKeySizes,
+		NoiseProb:    spec.NoiseProb,
+		MaxHosts:     spec.MaxHosts,
+		GrabWorkers:  spec.GrabWorkers,
+		QueueSize:    spec.QueueSize,
+		CryptoCache:  spec.CryptoCache,
+	}
 }
 
 // AnalyzeRecords rebuilds per-wave analyses from a loaded dataset

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fabric"
 	"repro/internal/pipeline"
 	"repro/internal/telemetry"
 )
@@ -934,6 +936,123 @@ func TestShardedCampaignByteIdentical(t *testing.T) {
 		if !reflect.DeepEqual(long, wantLong) {
 			t.Errorf("shards=%d subprocess: longitudinal differs", shards)
 		}
+	}
+
+	// Network fabric round trip (PR 8): an in-process coordinator leases
+	// 5 shards over TCP to four measure subprocess workers. One worker is
+	// killed abruptly mid-shard (its partial stream must be discarded and
+	// the shard re-queued); another stalls mid-shard with the connection
+	// held open (only the heartbeat deadline can notice — the lease must
+	// expire). The merged campaign must stay byte-identical regardless.
+	const netShards = 5
+	deadAfter := 1 * time.Second
+	spec := cfg.FabricSpec(netShards, 25*time.Millisecond)
+	hello, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	coord := fabric.NewCoordinator(ln, fabric.CoordinatorConfig{
+		Shards:    netShards,
+		Hello:     hello,
+		DeadAfter: deadAfter,
+		Metrics:   reg,
+		Logf:      t.Logf,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	workerFaults := []string{"kill=3", "stall=2", "", ""}
+	var stderrs []*bytes.Buffer
+	var cmds []*exec.Cmd
+	for i, fault := range workerFaults {
+		args := []string{
+			"-connect", ln.Addr().String(),
+			"-name", "net-w" + strconv.Itoa(i),
+			"-heartbeat", "25ms",
+		}
+		if fault != "" {
+			args = append(args, "-fault", fault)
+		}
+		cmd := exec.CommandContext(ctx, bin, args...)
+		buf := new(bytes.Buffer)
+		cmd.Stderr = buf
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting fabric worker %d: %v", i, err)
+		}
+		stderrs = append(stderrs, buf)
+		cmds = append(cmds, cmd)
+	}
+	streams, err := coord.Run(ctx)
+	for i, cmd := range cmds {
+		werr := cmd.Wait()
+		// The killed worker must die (nonzero exit). Surviving workers
+		// exit cleanly at shutdown — except a worker caught between
+		// sessions when the campaign ends (the stalled one mid-reconnect)
+		// legitimately exhausts its dial budget against the closed
+		// listener.
+		if i == 0 && werr == nil {
+			t.Errorf("fabric worker %d (-fault kill) exited cleanly", i)
+		}
+		if i != 0 && werr != nil &&
+			!strings.Contains(stderrs[i].String(), "consecutive dial failures") {
+			t.Errorf("fabric worker %d exited: %v\n%s", i, werr, stderrs[i].Bytes())
+		}
+	}
+	if err != nil {
+		for i, buf := range stderrs {
+			t.Logf("fabric worker %d stderr:\n%s", i, buf.Bytes())
+		}
+		t.Fatalf("fabric coordinator: %v", err)
+	}
+
+	decoders := make([]*dataset.Decoder, len(streams))
+	for i, s := range streams {
+		decoders[i] = dataset.NewDecoder(bytes.NewReader(s))
+	}
+	var slice pipeline.SliceSink
+	if err := pipeline.MergeShardStreams(&slice, decoders...); err != nil {
+		t.Fatalf("merging fabric streams: %v", err)
+	}
+	for _, r := range slice.Records {
+		r.Duration, r.Bytes = 0, 0
+	}
+	var buf bytes.Buffer
+	if err := dataset.Write(&buf, slice.Records); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("fabric: merged dataset differs from unsharded (%d vs %d bytes)",
+			buf.Len(), len(want))
+	}
+	analyses, long := AnalyzeRecords(slice.Records)
+	wantAnalyses, wantLong := AnalyzeRecords(decodeDataset(t, want))
+	if !reflect.DeepEqual(analyses, wantAnalyses) {
+		t.Error("fabric: re-analyses differ")
+	}
+	if !reflect.DeepEqual(long, wantLong) {
+		t.Error("fabric: longitudinal differs")
+	}
+
+	// The failure machinery must actually have fired: two workers died
+	// (broken stream + heartbeat expiry), their shards re-queued, and
+	// the stall was visible as a heartbeat gap past the threshold.
+	if got := reg.Counter("fabric_workers_dead").Load(); got < 2 {
+		t.Errorf("fabric_workers_dead = %d, want >= 2 (kill + stall)", got)
+	}
+	if got := reg.Counter("fabric_leases_requeued").Load(); got < 2 {
+		t.Errorf("fabric_leases_requeued = %d, want >= 2", got)
+	}
+	if gap := reg.MaxGauge("fabric_heartbeat_gap_ns").Load(); gap <= deadAfter.Nanoseconds() {
+		t.Errorf("fabric_heartbeat_gap_ns = %d, want > %d (stall must exceed the lease deadline)",
+			gap, deadAfter.Nanoseconds())
+	}
+	if got := reg.Counter("fabric_shards_committed").Load(); got != netShards {
+		t.Errorf("fabric_shards_committed = %d, want %d", got, netShards)
 	}
 }
 
