@@ -8,7 +8,7 @@
 //	measure [-seed 2020] [-waves 0-7] [-dataset out.jsonl] [-anonymize]
 //	        [-testkeys] [-noise 0.002] [-csv] [-max-hosts 0]
 //	        [-grab-workers 32] [-wave-workers 1] [-analyze-workers 0]
-//	        [-sequential] [-crypto-cache 0]
+//	        [-sequential] [-crypto-cache 0] [-chaos mixed,seed=7]
 //
 // Sharded multi-process campaigns (DESIGN.md §5):
 //
@@ -43,6 +43,7 @@ import (
 	"time"
 
 	opcuastudy "repro"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/pipeline"
@@ -76,6 +77,33 @@ func parseWaves(s string) ([]int, error) {
 	return out, nil
 }
 
+// parseChaos parses the -chaos value, "<profile>[,seed=N]". The empty
+// string keeps the internet polite. The profile is validated against
+// the chaos package's registry so typos fail fast with the known names.
+func parseChaos(s string) (string, int64, error) {
+	if s == "" {
+		return "", 0, nil
+	}
+	profile, rest, hasSeed := strings.Cut(s, ",")
+	var seed int64
+	if hasSeed {
+		v, ok := strings.CutPrefix(rest, "seed=")
+		if !ok {
+			return "", 0, fmt.Errorf("invalid -chaos %q: expected <profile>[,seed=N]", s)
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return "", 0, fmt.Errorf("invalid -chaos %q: seed %q is not an integer", s, v)
+		}
+		seed = n
+	}
+	if _, err := chaos.ModelForProfile(profile, 1); err != nil {
+		return "", 0, fmt.Errorf("invalid -chaos profile %q (known profiles: %s)",
+			profile, strings.Join(chaos.Profiles(), ", "))
+	}
+	return profile, seed, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	seed := flag.Int64("seed", 2020, "world generation seed")
@@ -92,6 +120,8 @@ func main() {
 	sequential := flag.Bool("sequential", false, "disable the cross-wave scan/analysis overlap")
 	cryptoCache := flag.Int("crypto-cache", 0,
 		"RSA memoization engine entry budget (0 = default; negative disables memoized, deterministic handshakes)")
+	chaosSpec := flag.String("chaos", "",
+		"adversarial host model, <profile>[,seed=N] (profiles: "+strings.Join(chaos.Profiles(), ", ")+"; seed defaults to -seed)")
 	shards := flag.Int("shards", 0, "shard every wave's probe space N ways across worker subprocesses (coordinator mode unless -shard is set)")
 	shard := flag.Int("shard", -1, "worker mode: scan only this shard (0-based; requires -shards)")
 	merge := flag.String("merge", "", "merge pre-produced worker shard streams (comma-separated JSONL files) instead of scanning")
@@ -112,6 +142,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	chaosProfile, chaosSeed, err := parseChaos(*chaosSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := opcuastudy.CampaignConfig{
 		Seed:           *seed,
 		Waves:          waveList,
@@ -124,6 +158,8 @@ func main() {
 		AnalyzeWorkers: *analyzeWorkers,
 		Sequential:     *sequential,
 		CryptoCache:    *cryptoCache,
+		ChaosProfile:   chaosProfile,
+		ChaosSeed:      chaosSeed,
 		Progressf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -295,6 +331,13 @@ func coordinate(cfg opcuastudy.CampaignConfig, shards int, datasetPath string, c
 			"-max-hosts", strconv.Itoa(cfg.MaxHosts),
 			"-grab-workers", strconv.Itoa(cfg.GrabWorkers),
 			"-crypto-cache", strconv.Itoa(cfg.CryptoCache),
+		}
+		if cfg.ChaosProfile != "" {
+			spec := cfg.ChaosProfile
+			if cfg.ChaosSeed != 0 {
+				spec += ",seed=" + strconv.FormatInt(cfg.ChaosSeed, 10)
+			}
+			args = append(args, "-chaos", spec)
 		}
 		if m := mopts.forWorker(tmp, i); m != "" {
 			workerMetrics = append(workerMetrics, m)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/scanner"
 	"repro/internal/telemetry"
 )
 
@@ -261,6 +262,22 @@ func summaryTable(s *telemetry.Snapshot) *report.Table {
 	add("port noise (non-OPC UA)", count("grab_noise"))
 	add("follow-up references", count("grab_followups"))
 	add("dataset records", count("campaign_records"))
+
+	// Chaos rows appear only when the failure taxonomy classified
+	// anything (a -chaos campaign, or armor retries firing).
+	if s.CounterTotal("grab_failures") > 0 || s.CounterTotal("grab_retries") > 0 {
+		add("grab retries", count("grab_retries"))
+		for _, class := range scanner.FailureClasses() {
+			needle := `class="` + class + `"`
+			var total uint64
+			for k, v := range s.Counters {
+				if strings.HasPrefix(k, "grab_failures{") && strings.Contains(k, needle) {
+					total += v
+				}
+			}
+			add("grab failures: "+class, strconv.FormatUint(total, 10))
+		}
+	}
 
 	add("handshakes attempted", count("handshake_attempts"))
 	add("handshakes ok", count("handshake_ok"))

@@ -66,6 +66,10 @@ type HostRecord struct {
 
 	ReachedOPCUA bool   `json:"reached_opcua"`
 	Error        string `json:"error,omitempty"`
+	// FailureClass is the resilience taxonomy class (timeout / reset /
+	// malformed / retries-exhausted) of a classified discovery failure;
+	// empty for reachable hosts and for campaigns without the taxonomy.
+	FailureClass string `json:"failure_class,omitempty"`
 
 	AppURI          string `json:"app_uri,omitempty"`
 	ProductURI      string `json:"product_uri,omitempty"`
@@ -116,6 +120,7 @@ func FromResult(res *scanner.Result, wave int, date time.Time, asn int) *HostRec
 		Via:          string(res.Via),
 		ReachedOPCUA: res.ReachedOPCUA,
 		Error:        res.Error,
+		FailureClass: res.FailureClass,
 
 		AppURI:          res.ApplicationURI,
 		ProductURI:      res.ProductURI,

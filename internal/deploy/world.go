@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/addrspace"
+	"repro/internal/chaos"
 	"repro/internal/simnet"
 	"repro/internal/uacert"
 	"repro/internal/uamsg"
@@ -60,6 +61,9 @@ type World struct {
 	// built lazily afterwards (see SetCrypto).
 	cryptoEngine *uarsa.Engine
 	cryptoDet    bool
+	// chaos is the campaign-installed adversarial-host model; wave
+	// binding happens in SnapshotWave/ApplyWave. Zero value: polite.
+	chaos chaos.Model
 }
 
 type worldHost struct {
@@ -441,6 +445,7 @@ func (w *World) ApplyWave(wave int) error {
 		}
 	}
 	w.wave = wave
+	w.Net.SetChaos(w.chaos.ForWave(wave))
 	return nil
 }
 
@@ -469,6 +474,7 @@ func (w *World) SnapshotWave(wave int) (*worldview.Snapshot, error) {
 		Universe: w.Net.Universe(),
 		Noise:    w.Net.NoiseModel(),
 		Latency:  w.Net.Latency(),
+		Chaos:    w.chaos.ForWave(wave),
 	})
 	if err != nil {
 		return nil, err
@@ -533,6 +539,23 @@ func (w *World) SetCrypto(engine *uarsa.Engine, deterministic bool) {
 	}
 	for _, wd := range w.discovery {
 		wd.server.SetCrypto(engine, deterministic)
+	}
+}
+
+// SetChaos installs the campaign's adversarial-host model. Ownership is
+// campaign-scoped like SetCrypto: opcuastudy installs it (or the zero
+// model, when chaos is off) before materializing wave views, so two
+// campaigns sharing a world never inherit each other's chaos. Wave
+// views built afterwards — snapshots via SnapshotWave, the mutable
+// network via ApplyWave — carry the model bound to their wave.
+func (w *World) SetChaos(m chaos.Model) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.chaos = m
+	if w.wave >= 0 {
+		w.Net.SetChaos(m.ForWave(w.wave))
+	} else {
+		w.Net.SetChaos(chaos.WaveModel{})
 	}
 }
 

@@ -267,6 +267,11 @@ type CampaignSpec struct {
 	GrabWorkers  int     `json:"grab_workers"`
 	QueueSize    int     `json:"queue_size"`
 	CryptoCache  int     `json:"crypto_cache"`
+	// ChaosProfile/ChaosSeed select the adversarial host model; record
+	// bytes depend on them, so every worker must agree (empty = polite
+	// internet, seed 0 = derive from Seed).
+	ChaosProfile string `json:"chaos_profile,omitempty"`
+	ChaosSeed    int64  `json:"chaos_seed,omitempty"`
 	// Shards is the campaign's total shard count — every worker must
 	// slice the probe space the same N ways for the merge to be exact.
 	Shards int `json:"shards"`

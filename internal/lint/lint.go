@@ -119,6 +119,14 @@ func DefaultConfig() *Config {
 			// the transport obeys the same entropy and clock rules as the
 			// record path it carries.
 			"repro/internal/fabric",
+			// Chaos behaviors are pure functions of (seed, wave, addr):
+			// any ambient entropy or clock in the decision path would
+			// break the chaos byte-identity gates. (Serve's tarpit
+			// pacing sleeps on the wire path, which is time.Sleep only —
+			// no clock reads feed decisions.)
+			"repro/internal/chaos",
+			// Retry backoff must replay from its seed alone.
+			"repro/internal/backoff",
 		},
 		EpochVars: []string{"repro/internal/uarsa.Epoch"},
 		SinkPkg:   "repro/internal/pipeline",

@@ -307,3 +307,18 @@ func (w *Wave) OPCUAResults() []*Result {
 	}
 	return out
 }
+
+// DatasetResults filters a wave down to the results that become dataset
+// records: hosts that speak OPC UA plus — under the failure taxonomy —
+// classified failures. Without Resilience.Classify no result carries a
+// FailureClass, so this is exactly OPCUAResults and chaos-off datasets
+// stay byte-identical to the pre-taxonomy baseline.
+func (w *Wave) DatasetResults() []*Result {
+	var out []*Result
+	for _, r := range w.Results {
+		if r.ReachedOPCUA || r.FailureClass != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"crypto/rsa"
 	"errors"
-	"fmt"
 	"slices"
 	"strings"
 	"time"
@@ -91,6 +90,11 @@ type Result struct {
 	// noise (only 0.5‰ of open ports speak OPC UA per the paper).
 	ReachedOPCUA bool
 	Error        string
+	// FailureClass is the taxonomy class of a discovery-stage failure
+	// (timeout / reset / malformed / retries-exhausted), set only when
+	// Resilience.Classify is on. Classified failures enter the dataset
+	// as failure records; analyses key on ReachedOPCUA and ignore them.
+	FailureClass string
 
 	ApplicationURI  string
 	ProductURI      string
@@ -146,6 +150,11 @@ type Scanner struct {
 	Trace     *telemetry.Tracer
 	TraceSeed int64
 	TraceWave int
+	// Resilience arms the grab against adversarial hosts: stage
+	// deadlines, bounded seeded retries, the per-grab watchdog and the
+	// failure taxonomy. The zero value reproduces the legacy
+	// single-Timeout behavior exactly (see resilience.go).
+	Resilience Resilience
 }
 
 // channelMetrics resolves the handshake instruments for one secure
@@ -199,6 +208,10 @@ func (s *Scanner) opts() uaclient.Options {
 		Timeout:         s.Timeout,
 		ApplicationURI:  s.ApplicationURI,
 		ApplicationName: "research scanner; see https://example.org/opcua-study",
+		ConnectTimeout:  s.Resilience.ConnectTimeout,
+		HelloTimeout:    s.Resilience.HelloTimeout,
+		OpenTimeout:     s.Resilience.OpenTimeout,
+		RequestTimeout:  s.Resilience.RequestTimeout,
 	}
 }
 
@@ -221,23 +234,37 @@ func (s *Scanner) Grab(ctx context.Context, target Target) *Result {
 
 	url := "opc.tcp://" + target.Address
 
-	// Step 1: endpoint discovery over an insecure channel.
-	openStart := ex.Start()
-	c, err := uaclient.Dial(ctx, url, s.opts())
-	if err != nil {
-		res.Error = err.Error()
-		ex.EndSpan("open", openStart, res.Error)
-		return res
+	opts := s.opts()
+	if s.Resilience.GrabTimeout > 0 {
+		opts.HardDeadline = start.Add(s.Resilience.GrabTimeout)
 	}
-	eps, err := func() ([]uamsg.EndpointDescription, error) {
+	rt := s.newRetrier(target.Address)
+
+	// Step 1: endpoint discovery over an insecure channel. The retry
+	// budget (when armed) wraps the whole exchange: a reset or refused
+	// dial is retried with an incremented context attempt number, which
+	// is how the stateless connect-refuse flap sees persistence.
+	openStart := ex.Start()
+	var eps []uamsg.EndpointDescription
+	err, exhausted := s.runExchange(ctx, rt, func(dctx context.Context) error {
+		c, err := uaclient.Dial(dctx, url, opts)
+		if err != nil {
+			return err
+		}
 		defer c.Close()
 		if err := c.OpenInsecureChannel(); err != nil {
-			return nil, err
+			return &discoveryError{err}
 		}
-		return c.GetEndpoints()
-	}()
+		e, err := c.GetEndpoints()
+		if err != nil {
+			return &discoveryError{err}
+		}
+		eps = e
+		return nil
+	})
 	if err != nil {
-		res.Error = fmt.Sprintf("get endpoints: %v", err)
+		res.Error = err.Error()
+		s.recordFailure(res, err, exhausted)
 		ex.EndSpan("open", openStart, res.Error)
 		return res
 	}
@@ -245,7 +272,7 @@ func (s *Scanner) Grab(ctx context.Context, target Target) *Result {
 	s.recordEndpoints(res, target.Address, eps)
 
 	// Step 2: discovery references (FindServers) for follow-ups.
-	s.followDiscovery(ctx, url, res)
+	s.followDiscovery(ctx, rt, url, opts, res)
 	ex.EndSpan("open", openStart, "")
 
 	// Step 3: secure-channel attempt with our self-signed certificate
@@ -255,7 +282,7 @@ func (s *Scanner) Grab(ctx context.Context, target Target) *Result {
 	var secure *uaclient.Client
 	if policy != nil {
 		hsStart := ex.Start()
-		secure = s.attemptSecureChannel(ctx, url, res, policy, mode)
+		secure = s.attemptSecureChannel(ctx, rt, url, opts, res, policy, mode)
 		ex.EndSpan("handshake", hsStart, res.SecureChannel.Error)
 	}
 
@@ -271,7 +298,7 @@ func (s *Scanner) Grab(ctx context.Context, target Target) *Result {
 		if secure != nil && sessPolicy == policy && sessMode == mode {
 			s.runAnonymousSession(ctx, secure, res)
 		} else {
-			s.attemptAnonymous(ctx, url, res, sessPolicy, sessMode)
+			s.attemptAnonymous(ctx, rt, url, opts, res, sessPolicy, sessMode)
 		}
 		ex.EndSpan("session", sessStart, res.Session.Error)
 	}
@@ -313,8 +340,8 @@ func (s *Scanner) recordEndpoints(res *Result, scanned string, eps []uamsg.Endpo
 	}
 }
 
-func (s *Scanner) followDiscovery(ctx context.Context, url string, res *Result) {
-	c, err := uaclient.Dial(ctx, url, s.opts())
+func (s *Scanner) followDiscovery(ctx context.Context, rt *retrier, url string, opts uaclient.Options, res *Result) {
+	c, err := s.dialRetry(ctx, rt, url, opts)
 	if err != nil {
 		return
 	}
@@ -381,14 +408,14 @@ func anonymousOffered(eps []EndpointInfo) bool {
 // mode). On success it returns the still-open client so the caller can
 // reuse the channel for the session probe; the caller owns closing it
 // and accounting its bytes.
-func (s *Scanner) attemptSecureChannel(ctx context.Context, url string, res *Result,
-	policy *uapolicy.Policy, mode uamsg.MessageSecurityMode) *uaclient.Client {
+func (s *Scanner) attemptSecureChannel(ctx context.Context, rt *retrier, url string, opts uaclient.Options,
+	res *Result, policy *uapolicy.Policy, mode uamsg.MessageSecurityMode) *uaclient.Client {
 	res.SecureChannel = SecureChannelResult{
 		Attempted: true,
 		PolicyURI: policy.URI,
 		Mode:      mode,
 	}
-	c, err := uaclient.Dial(ctx, url, s.opts())
+	c, err := s.dialRetry(ctx, rt, url, opts)
 	if err != nil {
 		res.SecureChannel.Error = err.Error()
 		return nil
@@ -444,10 +471,10 @@ func channelForSession(eps []EndpointInfo) (*uapolicy.Policy, uamsg.MessageSecur
 // code dropped failed-probe traffic on some paths but not others).
 // Result.Bytes feeds no analysis — the equivalence gates normalize it —
 // so only consistency matters.
-func (s *Scanner) attemptAnonymous(ctx context.Context, url string, res *Result,
-	policy *uapolicy.Policy, mode uamsg.MessageSecurityMode) {
+func (s *Scanner) attemptAnonymous(ctx context.Context, rt *retrier, url string, opts uaclient.Options,
+	res *Result, policy *uapolicy.Policy, mode uamsg.MessageSecurityMode) {
 	res.Session.Attempted = true
-	c, err := uaclient.Dial(ctx, url, s.opts())
+	c, err := s.dialRetry(ctx, rt, url, opts)
 	if err != nil {
 		res.Session.Error = err.Error()
 		return

@@ -20,6 +20,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/chaos"
 )
 
 // ConnHandler serves one accepted connection. *uaserver.Server satisfies
@@ -217,6 +219,9 @@ type Network struct {
 	noiseSeed   uint64
 	dialCount   int64
 	excludedIPs map[netip.Addr]bool
+	// chaos is the wave-bound adversarial-host model (DESIGN.md §9);
+	// the zero value leaves every registered host polite.
+	chaos chaos.WaveModel
 }
 
 // New creates a network over the given universe.
@@ -244,6 +249,23 @@ func (n *Network) SetLatency(d time.Duration) { n.latency = d }
 // SetNoise configures the open-port-but-not-OPC-UA probability for
 // unregistered universe addresses on port 4840.
 func (n *Network) SetNoise(prob float64) { n.noiseProb = prob }
+
+// SetChaos installs the wave-bound adversarial-host model consulted on
+// every dial to a registered host (deploy.World.ApplyWave rebinds it
+// each wave on this legacy mutable path; snapshot views carry their own
+// via worldview.Config.Chaos). A zero WaveModel disables chaos.
+func (n *Network) SetChaos(wm chaos.WaveModel) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chaos = wm
+}
+
+// ChaosModel returns the currently bound wave chaos model.
+func (n *Network) ChaosModel() chaos.WaveModel {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.chaos
+}
 
 // Exclude removes an IP from the network (opt-out list, Appendix A.2).
 func (n *Network) Exclude(ip netip.Addr) {
@@ -428,6 +450,7 @@ func (n *Network) DialContext(ctx context.Context, network, address string) (net
 	n.mu.RLock()
 	excluded := n.excludedIPs[ip]
 	h, ok := n.hosts[netip.AddrPortFrom(ip, uint16(port))]
+	cm := n.chaos
 	n.mu.RUnlock()
 	if excluded {
 		return nil, ErrRefused{Addr: address}
@@ -439,6 +462,18 @@ func (n *Network) DialContext(ctx context.Context, network, address string) (net
 			return client, nil
 		}
 		return nil, ErrRefused{Addr: address}
+	}
+	// Adversarial behavior applies to registered hosts only: noise
+	// endpoints and closed ports stay polite. The decision is a pure
+	// function of (seed, wave, ip, port) plus the dial's context-borne
+	// attempt number, so it is identical across shards and processes.
+	if b := cm.Behavior(ip.As4(), port); b.Kind != chaos.KindNone {
+		if b.Refuses(chaos.AttemptFromContext(ctx)) {
+			return nil, ErrRefused{Addr: address}
+		}
+		client, server := net.Pipe()
+		go chaos.Serve(b, server, h.Handler.HandleConn)
+		return client, nil
 	}
 	client, server := net.Pipe()
 	go h.Handler.HandleConn(server)

@@ -36,6 +36,21 @@ type Options struct {
 	Timeout         time.Duration // per-connection I/O deadline
 	ApplicationURI  string
 	ApplicationName string
+
+	// Per-stage deadlines (all optional; zero falls back to Timeout).
+	// The scanner's resilience layer sets them so one adversarial stage
+	// — a dial that hangs, a hello that dribbles, an OPN that stalls —
+	// fails within its own bound instead of consuming the whole
+	// connection budget (DESIGN.md §9).
+	ConnectTimeout time.Duration // bounds Dialer.DialContext
+	HelloTimeout   time.Duration // bounds the UACP hello/acknowledge exchange
+	OpenTimeout    time.Duration // bounds the OpenSecureChannel exchange
+	RequestTimeout time.Duration // per-request budget after channel open
+
+	// HardDeadline, when nonzero, is an absolute watchdog: no deadline
+	// extension — not even the walk's — ever arms past it, so a tarpit
+	// host cannot wedge a grab-pool worker beyond this instant.
+	HardDeadline time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -120,13 +135,19 @@ func Dial(ctx context.Context, endpointURL string, opts Options) (*Client, error
 	if err != nil {
 		return nil, err
 	}
-	conn, err := opts.Dialer.DialContext(ctx, "tcp", addr)
+	dctx := ctx
+	if opts.ConnectTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, opts.ConnectTimeout)
+		defer cancel()
+	}
+	conn, err := opts.Dialer.DialContext(dctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{opts: opts, endpointURL: endpointURL}
 	cc := countingConn{Conn: conn, read: &c.bytesRead, written: &c.bytesWritten}
-	c.deadlineAt = time.Now().Add(opts.Timeout)
+	c.deadlineAt = c.clamp(time.Now().Add(c.budget(opts.HelloTimeout)))
 	_ = conn.SetDeadline(c.deadlineAt)
 	tr, err := uasc.ClientHello(cc, endpointURL, opts.Limits)
 	if err != nil {
@@ -142,17 +163,41 @@ func (c *Client) BytesTransferred() (read, written int64) {
 	return c.bytesRead.Load(), c.bytesWritten.Load()
 }
 
+// budget resolves a stage deadline, falling back to the connection
+// timeout when the stage has no override.
+func (c *Client) budget(stage time.Duration) time.Duration {
+	if stage > 0 {
+		return stage
+	}
+	return c.opts.Timeout
+}
+
+// clamp caps a candidate deadline at the hard watchdog deadline.
+func (c *Client) clamp(t time.Time) time.Time {
+	if !c.opts.HardDeadline.IsZero() && t.After(c.opts.HardDeadline) {
+		return c.opts.HardDeadline
+	}
+	return t
+}
+
+// armStage re-arms the connection deadline for a new protocol stage.
+func (c *Client) armStage(stage time.Duration) {
+	c.deadlineAt = c.clamp(time.Now().Add(c.budget(stage)))
+	_ = c.tr.Conn.SetDeadline(c.deadlineAt)
+}
+
 // ExtendDeadline pushes the connection I/O deadline forward. Re-arming
-// is rate-limited to once per quarter of the timeout budget, so the
-// effective deadline stays within [3/4·Timeout, Timeout] of the last
+// is rate-limited to once per quarter of the request budget, so the
+// effective deadline stays within [3/4·budget, budget] of the last
 // request instead of being re-armed (and a timer re-allocated) on
-// every one.
+// every one. The hard watchdog deadline is never exceeded.
 func (c *Client) ExtendDeadline() {
 	now := time.Now()
-	if c.deadlineAt.Sub(now) > 3*c.opts.Timeout/4 {
+	budget := c.budget(c.opts.RequestTimeout)
+	if c.deadlineAt.Sub(now) > 3*budget/4 {
 		return
 	}
-	c.deadlineAt = now.Add(c.opts.Timeout)
+	c.deadlineAt = c.clamp(now.Add(budget))
 	_ = c.tr.Conn.SetDeadline(c.deadlineAt)
 }
 
@@ -180,7 +225,11 @@ func (c *Client) OpenChannel(sec ChannelSecurity) error {
 	if c.ch != nil {
 		return errors.New("uaclient: channel already open")
 	}
-	c.ExtendDeadline()
+	if c.opts.OpenTimeout > 0 {
+		c.armStage(c.opts.OpenTimeout)
+	} else {
+		c.ExtendDeadline()
+	}
 	ch, err := uasc.Open(c.tr, uasc.ChannelSecurity{
 		Policy:        sec.Policy,
 		Mode:          sec.Mode,

@@ -45,6 +45,12 @@ const (
 	minChunkBufSize  = 8192
 	maxHelloBodySize = 4096
 	protocolVersion  = uamsg.ProtocolVersion
+
+	// absoluteMaxFrameSize is the hard ceiling on any single frame,
+	// applied even when a caller passes maxSize == 0 or limits were
+	// never negotiated. A wire-claimed size is attacker-controlled; it
+	// must never size an allocation unboundedly.
+	absoluteMaxFrameSize = 16 << 20
 )
 
 // Errors returned by the transport.
@@ -100,6 +106,8 @@ type rawChunk struct {
 }
 
 // readRaw reads one framed chunk, enforcing maxSize on the total frame.
+// maxSize == 0 does not mean unlimited: absoluteMaxFrameSize always
+// applies, so a hostile size claim can never drive the allocation.
 func readRaw(r io.Reader, maxSize uint32) (rawChunk, error) {
 	var hdr [chunkHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -109,7 +117,10 @@ func readRaw(r io.Reader, maxSize uint32) (rawChunk, error) {
 	if size < chunkHeaderSize {
 		return rawChunk{}, fmt.Errorf("uasc: frame size %d too small", size)
 	}
-	if maxSize > 0 && size > maxSize {
+	if maxSize == 0 || maxSize > absoluteMaxFrameSize {
+		maxSize = absoluteMaxFrameSize
+	}
+	if size > maxSize {
 		return rawChunk{}, fmt.Errorf("%w: %d > %d", ErrChunkTooLarge, size, maxSize)
 	}
 	body := make([]byte, size-chunkHeaderSize)
@@ -157,7 +168,11 @@ func (t *Transport) readChunk() (rawChunk, error) {
 	if size < chunkHeaderSize {
 		return rawChunk{}, fmt.Errorf("uasc: frame size %d too small", size)
 	}
-	if maxSize := t.recv.ReceiveBufSize; maxSize > 0 && size > maxSize {
+	maxSize := t.recv.ReceiveBufSize
+	if maxSize == 0 || maxSize > absoluteMaxFrameSize {
+		maxSize = absoluteMaxFrameSize
+	}
+	if size > maxSize {
 		return rawChunk{}, fmt.Errorf("%w: %d > %d", ErrChunkTooLarge, size, maxSize)
 	}
 	n := int(size - chunkHeaderSize)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/rand"
 	"crypto/rsa"
+	"encoding/binary"
 	"errors"
 	"net"
 	"strings"
@@ -441,6 +442,32 @@ func TestReadRawEnforcesLimits(t *testing.T) {
 	}
 	if _, err := readRaw(&buf, 50); !errors.Is(err, ErrChunkTooLarge) {
 		t.Errorf("err = %v, want ErrChunkTooLarge", err)
+	}
+}
+
+// Regression: maxSize == 0 used to mean "unlimited", letting a hostile
+// 4 GiB size claim drive the body allocation. The absolute frame-size
+// ceiling must reject it before any allocation happens — in readRaw and
+// in the transport's readChunk alike.
+func TestReadRawRejectsOversizedClaimWithoutLimit(t *testing.T) {
+	frame := make([]byte, chunkHeaderSize)
+	copy(frame, uamsg.MsgTypeMessage)
+	frame[3] = uamsg.ChunkFinal
+	binary.LittleEndian.PutUint32(frame[4:], 0xfffffff0)
+
+	if _, err := readRaw(bytes.NewReader(frame), 0); !errors.Is(err, ErrChunkTooLarge) {
+		t.Errorf("readRaw(maxSize=0) err = %v, want ErrChunkTooLarge", err)
+	}
+
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	defer sConn.Close()
+	go func() {
+		sConn.Write(frame)
+	}()
+	tr := &Transport{Conn: cConn} // no negotiated limits at all
+	if _, err := tr.readChunk(); !errors.Is(err, ErrChunkTooLarge) {
+		t.Errorf("readChunk (no limits) err = %v, want ErrChunkTooLarge", err)
 	}
 }
 

@@ -314,6 +314,15 @@ func (d *Decoder) ReadArrayLen() int {
 		d.fail(ErrLengthLimit)
 		return -1
 	}
+	// Every array element costs at least one wire byte, so a claimed
+	// count beyond the remaining buffer can never decode; failing here
+	// keeps the claim from sizing a preallocation (callers write
+	// make([]T, 0, n)) — a few hostile bytes must not buy a
+	// megabyte-scale allocation.
+	if int(n) > d.Remaining() {
+		d.fail(ErrShortBuffer)
+		return -1
+	}
 	return int(n)
 }
 

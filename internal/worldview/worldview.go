@@ -41,6 +41,7 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/simnet"
 )
 
@@ -55,6 +56,11 @@ type Config struct {
 	Noise simnet.Noise
 	// Latency delays every dial.
 	Latency time.Duration
+	// Chaos is the wave-bound adversarial-host model (DESIGN.md §9),
+	// already bound to this snapshot's wave; the zero value leaves
+	// every registered host polite. Like Noise it is pure function
+	// state, so snapshots stay immutable and shard-equivalent.
+	Chaos chaos.WaveModel
 }
 
 // host is one registered endpoint of the snapshot.
@@ -228,6 +234,17 @@ func (s *Snapshot) DialContext(ctx context.Context, network, address string) (ne
 			return client, nil
 		}
 		return nil, simnet.ErrRefused{Addr: address}
+	}
+	// Adversarial behavior applies to registered hosts only, decided
+	// purely from (seed, wave, ip, port) plus the dial's context-borne
+	// attempt number — identical to Network.DialContext's chaos path.
+	if b := s.cfg.Chaos.Behavior(ip.As4(), port); b.Kind != chaos.KindNone {
+		if b.Refuses(chaos.AttemptFromContext(ctx)) {
+			return nil, simnet.ErrRefused{Addr: address}
+		}
+		client, server := net.Pipe()
+		go chaos.Serve(b, server, h.handler.HandleConn)
+		return client, nil
 	}
 	client, server := net.Pipe()
 	go h.handler.HandleConn(server)

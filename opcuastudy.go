@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/deploy"
@@ -152,6 +153,31 @@ type CampaignConfig struct {
 	// (open→handshake→session→close) under deterministic IDs derived
 	// from (Seed, wave, address), into the tracer's bounded ring.
 	Trace *telemetry.Tracer
+	// ChaosProfile, when non-empty, names an adversarial-host profile
+	// (chaos.Profiles: tarpit, reset, flap, truncate, corrupt,
+	// oversize, garbage, mixed) installed on the world for the
+	// campaign. Chaos arms the scanner's resilience layer — per-stage
+	// deadlines, bounded seeded retries, the grab watchdog and the
+	// failure taxonomy — and classified failures enter the dataset as
+	// failure records (DESIGN.md §9). Empty disables chaos and
+	// reproduces the baseline dataset byte for byte.
+	ChaosProfile string
+	// ChaosSeed seeds the chaos behavior decisions and the retry
+	// backoff jitter (0 = derive from Seed), so chaos campaigns replay
+	// bit-identically across runs and shard layouts.
+	ChaosSeed int64
+	// resilienceOverride replaces the derived armor, letting tests use
+	// sub-second stage deadlines so tarpit campaigns finish in CI time
+	// (nil = defaultResilience when chaos is on).
+	resilienceOverride *scanner.Resilience
+}
+
+// chaosSeed resolves the effective chaos seed.
+func (cfg CampaignConfig) chaosSeed() int64 {
+	if cfg.ChaosSeed != 0 {
+		return cfg.ChaosSeed
+	}
+	return cfg.Seed
 }
 
 // Campaign is a completed (or running) measurement campaign.
@@ -237,6 +263,24 @@ func (cfg CampaignConfig) newScannerBase(world *deploy.World) (scanner.Scanner, 
 	// telemetry snapshots carry crypto_* alongside everything else.
 	suite.EngineOrNil().PublishTo(cfg.Telemetry)
 
+	// Chaos ownership mirrors SetCrypto: every campaign installs its
+	// model — the zero model when chaos is off — so two campaigns
+	// sharing a world never inherit each other's adversarial layer.
+	var resilience scanner.Resilience
+	chaosModel := chaos.Model{}
+	if cfg.ChaosProfile != "" {
+		m, err := chaos.ModelForProfile(cfg.ChaosProfile, cfg.chaosSeed())
+		if err != nil {
+			return scanner.Scanner{}, nil, err
+		}
+		chaosModel = m
+		resilience = defaultResilience(cfg.chaosSeed())
+		if cfg.resilienceOverride != nil {
+			resilience = *cfg.resilienceOverride
+		}
+	}
+	world.SetChaos(chaosModel)
+
 	return scanner.Scanner{
 		Key:     key,
 		CertDER: cert.Raw,
@@ -251,7 +295,30 @@ func (cfg CampaignConfig) newScannerBase(world *deploy.World) (scanner.Scanner, 
 			MaxNodes:    10000,
 		},
 		ApplicationURI: "urn:repro:opcua:scanner",
+		Resilience:     resilience,
 	}, suite, nil
+}
+
+// defaultResilience is the armor a chaos campaign scans with: stage
+// deadlines small enough that a tarpit costs seconds rather than the
+// whole 30s connection budget, two seeded retries (enough to recover
+// every flap host whose refusal count is ≤ 2; param-3 flaps exercise
+// the retries-exhausted class), and a watchdog far above any healthy
+// grab — it bounds adversarial stalls only, because a watchdog that
+// fired mid-walk on a healthy host would truncate record content.
+func defaultResilience(seed int64) scanner.Resilience {
+	return scanner.Resilience{
+		Classify:       true,
+		Retries:        2,
+		Seed:           seed,
+		BackoffBase:    50 * time.Millisecond,
+		BackoffCap:     400 * time.Millisecond,
+		ConnectTimeout: 2 * time.Second,
+		HelloTimeout:   2 * time.Second,
+		OpenTimeout:    5 * time.Second,
+		RequestTimeout: 10 * time.Second,
+		GrabTimeout:    10 * time.Minute,
+	}
 }
 
 // NewScannerIdentity generates the scanner's self-signed certificate,
@@ -402,7 +469,7 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 		// the invariant the metrics-accounting tests pin.
 		recordsC := cfg.Telemetry.Scope("wave", strconv.Itoa(w)).Counter("campaign_records")
 		var recs []*dataset.HostRecord
-		for _, res := range wave.OPCUAResults() {
+		for _, res := range wave.DatasetResults() {
 			rec := dataset.FromResult(res, w, date, asnOf(views[i], res.Address))
 			acc.Add(rec)
 			recordsC.Inc()
@@ -650,7 +717,7 @@ func RunCampaignShard(ctx context.Context, cfg CampaignConfig, world *deploy.Wor
 		if err != nil {
 			return fmt.Errorf("opcuastudy: wave %d shard %d: %w", w, shard, err)
 		}
-		for _, res := range wave.OPCUAResults() {
+		for _, res := range wave.DatasetResults() {
 			if err := sink.Put(dataset.FromResult(res, w, date, asnOf(view, res.Address))); err != nil {
 				return fmt.Errorf("opcuastudy: wave %d shard %d: sink: %w", w, shard, err)
 			}
@@ -715,6 +782,8 @@ func (cfg CampaignConfig) FabricSpec(shards int, heartbeat time.Duration) fabric
 		GrabWorkers:  cfg.GrabWorkers,
 		QueueSize:    cfg.QueueSize,
 		CryptoCache:  cfg.CryptoCache,
+		ChaosProfile: cfg.ChaosProfile,
+		ChaosSeed:    cfg.ChaosSeed,
 		Shards:       shards,
 		HeartbeatMs:  heartbeat.Milliseconds(),
 	}
@@ -733,6 +802,8 @@ func CampaignFromSpec(spec fabric.CampaignSpec) CampaignConfig {
 		GrabWorkers:  spec.GrabWorkers,
 		QueueSize:    spec.QueueSize,
 		CryptoCache:  spec.CryptoCache,
+		ChaosProfile: spec.ChaosProfile,
+		ChaosSeed:    spec.ChaosSeed,
 	}
 }
 
