@@ -8,7 +8,15 @@
 //	measure [-seed 2020] [-waves 0-7] [-dataset out.jsonl] [-anonymize]
 //	        [-testkeys] [-noise 0.002] [-csv] [-max-hosts 0]
 //	        [-grab-workers 32] [-wave-workers 1] [-analyze-workers 0]
-//	        [-sequential] [-crypto-cache 0] [-chaos mixed,seed=7]
+//	        [-sequential] [-crypto-cache 0] [-chaos mixed,seed=7] [-delta]
+//
+// -delta runs a delta-wave campaign (DESIGN.md §10): every wave after
+// the first fingerprints each host's spec state and skips the grab of
+// provably unchanged hosts, cloning their prior records instead. The
+// dataset stays byte-identical to the full scan; needs at least two
+// selected waves. Composes with -chaos (chaos decisions are part of
+// the fingerprint) and -shards (the flag travels in the campaign spec,
+// so every worker plans the same skips).
 //
 // Sharded multi-process campaigns (DESIGN.md §5):
 //
@@ -122,6 +130,8 @@ func main() {
 		"RSA memoization engine entry budget (0 = default; negative disables memoized, deterministic handshakes)")
 	chaosSpec := flag.String("chaos", "",
 		"adversarial host model, <profile>[,seed=N] (profiles: "+strings.Join(chaos.Profiles(), ", ")+"; seed defaults to -seed)")
+	delta := flag.Bool("delta", false,
+		"delta-wave campaign: fingerprint host state per wave and clone unchanged hosts' prior records instead of re-grabbing (needs at least 2 selected waves)")
 	shards := flag.Int("shards", 0, "shard every wave's probe space N ways across worker subprocesses (coordinator mode unless -shard is set)")
 	shard := flag.Int("shard", -1, "worker mode: scan only this shard (0-based; requires -shards)")
 	merge := flag.String("merge", "", "merge pre-produced worker shard streams (comma-separated JSONL files) instead of scanning")
@@ -146,6 +156,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *delta {
+		// Fail the composition errors at flag time with the actual
+		// values, before any world is built.
+		if *merge != "" {
+			log.Fatalf("-delta plans skips between consecutively scanned waves and cannot compose with -merge %q, which re-merges already-scanned streams", *merge)
+		}
+		if waveList != nil && len(waveList) < 2 {
+			log.Fatalf("-delta diffs consecutive waves and needs at least 2 selected, got -waves %q selecting %d wave(s)", *waves, len(waveList))
+		}
+	}
 	cfg := opcuastudy.CampaignConfig{
 		Seed:           *seed,
 		Waves:          waveList,
@@ -160,6 +180,7 @@ func main() {
 		CryptoCache:    *cryptoCache,
 		ChaosProfile:   chaosProfile,
 		ChaosSeed:      chaosSeed,
+		Delta:          *delta,
 		Progressf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -355,6 +376,9 @@ func coordinate(cfg opcuastudy.CampaignConfig, shards int, datasetPath string, c
 		}
 		if cfg.TestKeySizes {
 			args = append(args, "-testkeys")
+		}
+		if cfg.Delta {
+			args = append(args, "-delta")
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stderr = os.Stderr

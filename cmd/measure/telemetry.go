@@ -263,6 +263,14 @@ func summaryTable(s *telemetry.Snapshot) *report.Table {
 	add("follow-up references", count("grab_followups"))
 	add("dataset records", count("campaign_records"))
 
+	// Delta rows appear only for -delta campaigns (the counters exist
+	// solely when the wave differ planned skips).
+	if s.CounterTotal("wave_delta_hits") > 0 || s.CounterTotal("wave_delta_fallbacks") > 0 {
+		add("delta hits (records cloned, no channel opened)", count("wave_delta_hits"))
+		add("delta misses (real grabs)", count("wave_delta_misses"))
+		add("delta fallback waves (full scans)", count("wave_delta_fallbacks"))
+	}
+
 	// Chaos rows appear only when the failure taxonomy classified
 	// anything (a -chaos campaign, or armor retries firing).
 	if s.CounterTotal("grab_failures") > 0 || s.CounterTotal("grab_retries") > 0 {

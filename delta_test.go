@@ -1,0 +1,299 @@
+package opcuastudy
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/telemetry"
+)
+
+// deltaTestConfig is the delta-gate fixture: all eight waves, so every
+// spec transition the deployment schedules — renewals, churn, the
+// follow-references switch-on at wave 3 — crosses at least one delta
+// boundary. Chaos campaigns get the CI-sized resilience armor.
+func deltaTestConfig(profile string) CampaignConfig {
+	cfg := CampaignConfig{
+		Seed:         2020,
+		TestKeySizes: true,
+		MaxHosts:     60,
+		NoiseProb:    1e-5,
+		GrabWorkers:  8,
+	}
+	if profile != "" {
+		cfg.ChaosProfile = profile
+		cfg.ChaosSeed = 7
+		// The delta gate compares runs with very different load shapes
+		// (a full wave's grabs versus a handful of misses), so the CI
+		// armor gets extra stage-deadline headroom: a deadline racing a
+		// chaos host's teardown on a starved single-core runner would
+		// flip the failure class between the runs under comparison.
+		r := testResilience(7)
+		r.ConnectTimeout = 2 * time.Second
+		r.HelloTimeout = 2 * time.Second
+		r.OpenTimeout = 4 * time.Second
+		r.RequestTimeout = 4 * time.Second
+		cfg.resilienceOverride = r
+	}
+	return cfg
+}
+
+// TestDeltaCampaignByteIdentical is the PR 10 soundness gate: a delta
+// campaign — unchanged hosts fingerprint-skipped, their prior records
+// cloned without opening a channel — must produce a byte-identical
+// dataset and identical WaveAnalysis/Longitudinal output versus the
+// full scan, with and without chaos, unsharded and sharded 4 ways.
+// The delta telemetry counters must reconcile exactly: misses equal
+// the real grabs performed, hits equal the records cloned, and the
+// only fallback is the first wave's unavoidable full scan.
+func TestDeltaCampaignByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delta campaign equivalence skipped in -short mode")
+	}
+	for _, tc := range []struct {
+		name    string
+		profile string
+	}{
+		{"polite", ""},
+		{"chaos_mixed", "mixed"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := deltaTestConfig(tc.profile)
+			world, err := BuildWorld(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline, err := RunCampaignOnWorld(context.Background(), cfg, world)
+			if err != nil {
+				t.Fatal(err)
+			}
+			normalizeWallClock(baseline)
+			want := datasetBytes(t, baseline)
+
+			for _, shards := range []int{1, 4} {
+				delta := cfg
+				delta.Delta = true
+				delta.Shards = shards
+				// In-process sharding multiplies grab workers per shard;
+				// keep the process-wide worker count level with the
+				// baseline so scheduler contention (and therefore
+				// deadline-class outcomes on chaos hosts) is comparable.
+				if shards > 1 {
+					delta.GrabWorkers = max(1, cfg.GrabWorkers/shards)
+				}
+				reg := telemetry.New()
+				delta.Telemetry = reg
+				run, err := RunCampaignOnWorld(context.Background(), delta, world)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				normalizeWallClock(run)
+				if got := datasetBytes(t, run); !bytes.Equal(got, want) {
+					t.Errorf("shards=%d: delta dataset differs from full scan (%d vs %d bytes)",
+						shards, len(got), len(want))
+				}
+				if !reflect.DeepEqual(run.Analyses, baseline.Analyses) {
+					t.Errorf("shards=%d: wave analyses differ from full scan", shards)
+				}
+				if !reflect.DeepEqual(run.Long, baseline.Long) {
+					t.Errorf("shards=%d: longitudinal analysis differs from full scan", shards)
+				}
+				reconcileDeltaCounters(t, run, reg, shards)
+			}
+		})
+	}
+}
+
+// reconcileDeltaCounters pins the satellite accounting invariants on an
+// in-process delta run: per wave, wave_delta_misses equals the grab
+// results the scanner actually produced and wave_delta_hits equals the
+// records the wave emitted beyond those grabs (the clones); exactly one
+// wave — the first — fell back to a full scan, and every delta wave
+// skipped real work.
+func reconcileDeltaCounters(t *testing.T, run *Campaign, reg *telemetry.Registry, shards int) {
+	t.Helper()
+	snap := reg.Snapshot()
+	counter := func(name string, w int) int {
+		needle := `wave="` + strconv.Itoa(w) + `"`
+		total := 0
+		for k, v := range snap.Counters {
+			if strings.HasPrefix(k, name+"{") && strings.Contains(k, needle) {
+				total += int(v)
+			}
+		}
+		return total
+	}
+	waves := run.Config.selectedWaves()
+	fallbacks := 0
+	for pos, w := range waves {
+		fallbacks += counter("wave_delta_fallbacks", w)
+		scan := run.Scans[w]
+		if scan == nil {
+			t.Fatalf("shards=%d wave %d: scan missing", shards, w)
+		}
+		misses := counter("wave_delta_misses", w)
+		hits := counter("wave_delta_hits", w)
+		if pos == 0 {
+			if misses != 0 || hits != 0 {
+				t.Errorf("shards=%d wave %d: fallback wave counted misses=%d hits=%d",
+					shards, w, misses, hits)
+			}
+			continue
+		}
+		if misses != len(scan.Results) {
+			t.Errorf("shards=%d wave %d: wave_delta_misses=%d, want %d real grabs",
+				shards, w, misses, len(scan.Results))
+		}
+		cloned := len(run.RecordsByWave[w]) - len(scan.DatasetResults())
+		if hits != cloned {
+			t.Errorf("shards=%d wave %d: wave_delta_hits=%d, want %d cloned records",
+				shards, w, hits, cloned)
+		}
+		if hits == 0 {
+			t.Errorf("shards=%d wave %d: delta wave cloned nothing — fingerprints never matched",
+				shards, w)
+		}
+		if misses >= len(run.RecordsByWave[w]) {
+			t.Errorf("shards=%d wave %d: %d grabs for %d records — delta skipped nothing",
+				shards, w, misses, len(run.RecordsByWave[w]))
+		}
+	}
+	if fallbacks != 1 {
+		t.Errorf("shards=%d: wave_delta_fallbacks total %d, want exactly 1 (first wave)",
+			shards, fallbacks)
+	}
+}
+
+// TestMeasureDeltaCoordinator runs the subprocess coordinator with and
+// without -delta and pins the worker-mode delta path (RunCampaignShard):
+// the merged delta dataset must be byte-identical to the full-scan
+// coordinator's, -delta must travel to the workers, and the merged
+// metrics must carry the per-shard delta counters — every worker falls
+// back exactly once (its first wave), the "total" snapshot sums the
+// shards, and the cloned-record hits stay within the dataset's record
+// count.
+func TestMeasureDeltaCoordinator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess campaign skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "measure")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/measure").CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/measure: %v\n%s", err, out)
+	}
+	const shards = 2
+	dir := t.TempDir()
+	run := func(name string, extra ...string) string {
+		t.Helper()
+		out := filepath.Join(dir, name+".jsonl")
+		args := append([]string{
+			"-shards", strconv.Itoa(shards),
+			"-seed", "2020", "-waves", "4-7", "-testkeys",
+			"-max-hosts", "60", "-noise", "1e-5", "-grab-workers", "8",
+			"-dataset", out,
+		}, extra...)
+		if o, err := exec.Command(bin, args...).CombinedOutput(); err != nil {
+			t.Fatalf("coordinator %s: %v\n%s", name, err, o)
+		}
+		return out
+	}
+	normalized := func(path string) []byte {
+		t.Helper()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		recs, err := dataset.Read(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			r.Duration, r.Bytes = 0, 0
+		}
+		var buf bytes.Buffer
+		if err := dataset.Write(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	full := run("full")
+	metrics := filepath.Join(dir, "delta.metrics.ndjson")
+	delta := run("delta", "-delta", "-metrics", metrics)
+	want, got := normalized(full), normalized(delta)
+	if !bytes.Equal(got, want) {
+		t.Errorf("delta coordinator dataset differs from full scan (%d vs %d bytes)",
+			len(got), len(want))
+	}
+
+	mf, err := os.Open(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := telemetry.ReadSnapshots(mf)
+	mf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byShard := map[string]*telemetry.Snapshot{}
+	for _, s := range snaps {
+		byShard[s.Shard] = s
+	}
+	var hitSum, fallbackSum uint64
+	for i := 0; i < shards; i++ {
+		s := byShard[strconv.Itoa(i)]
+		if s == nil {
+			t.Fatalf("metrics output missing shard %d snapshot", i)
+		}
+		if got := s.CounterTotal("wave_delta_fallbacks"); got != 1 {
+			t.Errorf("shard %d: wave_delta_fallbacks = %d, want 1 (first wave only)", i, got)
+		}
+		if s.CounterTotal("wave_delta_hits") == 0 {
+			t.Errorf("shard %d: no delta hits — fingerprints never matched", i)
+		}
+		hitSum += s.CounterTotal("wave_delta_hits")
+		fallbackSum += s.CounterTotal("wave_delta_fallbacks")
+	}
+	total := byShard["total"]
+	if total == nil {
+		t.Fatal("metrics output missing the merged total snapshot")
+	}
+	if got := total.CounterTotal("wave_delta_hits"); got != hitSum {
+		t.Errorf("total wave_delta_hits = %d, want %d (sum of shards)", got, hitSum)
+	}
+	if got := total.CounterTotal("wave_delta_fallbacks"); got != fallbackSum {
+		t.Errorf("total wave_delta_fallbacks = %d, want %d (sum of shards)", got, fallbackSum)
+	}
+	merged := byShard["merge"]
+	if merged == nil {
+		t.Fatal("metrics output missing the merge snapshot")
+	}
+	if recs := merged.CounterTotal("campaign_records"); hitSum == 0 || hitSum >= recs {
+		t.Errorf("delta hits %d out of range (0, %d records)", hitSum, recs)
+	}
+}
+
+// TestDeltaCampaignNeedsTwoWaves pins the validation error: a delta
+// campaign over fewer than two waves has nothing to diff.
+func TestDeltaCampaignNeedsTwoWaves(t *testing.T) {
+	cfg := deltaTestConfig("")
+	cfg.Waves = []int{7}
+	cfg.Delta = true
+	world, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCampaignOnWorld(context.Background(), cfg, world); err == nil {
+		t.Fatal("delta campaign with one wave did not error")
+	} else if !strings.Contains(err.Error(), "at least 2") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

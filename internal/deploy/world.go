@@ -77,6 +77,7 @@ type worldHost struct {
 
 type worldDiscovery struct {
 	spec   *DiscoverySpec
+	cert   *uacert.Certificate
 	server *uaserver.Server
 }
 
@@ -284,7 +285,7 @@ func Materialize(spec *Spec, opts Options) (*World, error) {
 		if err != nil {
 			return nil, fmt.Errorf("deploy: discovery server %d: %w", i, err)
 		}
-		w.discovery = append(w.discovery, &worldDiscovery{spec: ds, server: srv})
+		w.discovery = append(w.discovery, &worldDiscovery{spec: ds, cert: discoCert, server: srv})
 	}
 	return w, nil
 }

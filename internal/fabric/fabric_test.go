@@ -416,7 +416,8 @@ func TestCampaignSpecRoundTrip(t *testing.T) {
 	spec := &CampaignSpec{
 		Seed: 2020, Waves: []int{6, 7}, TestKeySizes: true,
 		NoiseProb: 1e-5, MaxHosts: 60, GrabWorkers: 8,
-		QueueSize: 32, CryptoCache: 128, Shards: 5, HeartbeatMs: 2000,
+		QueueSize: 32, CryptoCache: 128, ChaosProfile: "mixed", ChaosSeed: 7,
+		Delta: true, Shards: 5, HeartbeatMs: 2000,
 	}
 	b, err := spec.Encode()
 	if err != nil {

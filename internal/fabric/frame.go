@@ -272,6 +272,11 @@ type CampaignSpec struct {
 	// internet, seed 0 = derive from Seed).
 	ChaosProfile string `json:"chaos_profile,omitempty"`
 	ChaosSeed    int64  `json:"chaos_seed,omitempty"`
+	// Delta switches workers to delta-wave mode: unchanged hosts are
+	// fingerprint-skipped and their prior records cloned. All workers
+	// must agree — a delta worker's stream is only byte-identical to a
+	// full worker's when both plan the same skips.
+	Delta bool `json:"delta,omitempty"`
 	// Shards is the campaign's total shard count — every worker must
 	// slice the probe space the same N ways for the merge to be exact.
 	Shards int `json:"shards"`

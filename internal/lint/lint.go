@@ -127,6 +127,11 @@ func DefaultConfig() *Config {
 			"repro/internal/chaos",
 			// Retry backoff must replay from its seed alone.
 			"repro/internal/backoff",
+			// Wave fingerprints justify skipping grabs: any entropy or
+			// clock feeding a fingerprint would desynchronize the
+			// skip/clone decisions of sharded delta workers and break the
+			// delta byte-identity gate.
+			"repro/internal/wavediff",
 		},
 		EpochVars: []string{"repro/internal/uarsa.Epoch"},
 		SinkPkg:   "repro/internal/pipeline",

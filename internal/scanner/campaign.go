@@ -9,6 +9,12 @@ import (
 	"repro/internal/telemetry"
 )
 
+// DefaultMaxFollowDepth is the follow-reference depth bound a wave
+// uses when WaveConfig.MaxFollowDepth is zero. Delta campaigns replay
+// the same bound when deciding which carried-over references a skipped
+// referrer still surfaces.
+const DefaultMaxFollowDepth = 2
+
 // WaveConfig controls one weekly measurement.
 type WaveConfig struct {
 	// Date labels the wave (the paper scans 2020-02-09 … 2020-08-30).
@@ -16,7 +22,8 @@ type WaveConfig struct {
 	// FollowReferences enables scanning host/port combinations announced
 	// by other servers; the paper added this on 2020-05-04.
 	FollowReferences bool
-	// MaxFollowDepth bounds transitive reference following.
+	// MaxFollowDepth bounds transitive reference following
+	// (0 = DefaultMaxFollowDepth).
 	MaxFollowDepth int
 	// GrabWorkers parallelizes the application-layer stage.
 	GrabWorkers int
@@ -38,6 +45,34 @@ type WaveConfig struct {
 	// per-wave scope; it is also copied into PortScan.Metrics by callers
 	// that want the discovery stage counted under the same scope.
 	Metrics *telemetry.Registry
+	// Delta, when non-nil, narrows the wave to its fingerprint misses:
+	// targets the campaign proved unchanged since the prior wave are
+	// dropped (their prior records are cloned outside the scanner) and
+	// references carried over from skipped referrers are injected. The
+	// port scan itself still sweeps the full range, so OpenPorts stays
+	// the full wave's count.
+	Delta *WaveDelta
+}
+
+// WaveDelta is a delta campaign's grab-narrowing instruction for one
+// wave (see internal/wavediff and DESIGN.md §10). Skip reports whether
+// an address's record is provably unchanged since the prior wave; such
+// addresses are removed from the port-scan seed targets and never
+// enqueued as follow-up references. Inject seeds the references a
+// skipped referrer was observed to surface in its last real grab —
+// the wave must still grab the ones whose own fingerprint missed.
+type WaveDelta struct {
+	Skip   func(addr string) bool
+	Inject []InjectTarget
+}
+
+// InjectTarget is one carried-over reference target. Depth is the
+// follow-up depth the reference entered the prior scan at (referrer
+// depth + 1), replayed so the MaxFollowDepth cutoff behaves exactly as
+// in a full scan.
+type InjectTarget struct {
+	Addr  string
+	Depth int
 }
 
 // Wave is the outcome of one measurement run.
@@ -153,7 +188,9 @@ func runStreaming(ctx context.Context, sc *Scanner, initial []Target, cfg WaveCo
 			defer wg.Done()
 			for j := range queue {
 				gm.queueWait.ObserveSince(j.enqueuedNs)
-				outcomes <- grabOutcome{res: sc.Grab(ctx, j.target), depth: j.depth}
+				res := sc.Grab(ctx, j.target)
+				res.FollowDepth = j.depth
+				outcomes <- grabOutcome{res: res, depth: j.depth}
 			}
 		}()
 	}
@@ -166,6 +203,24 @@ func runStreaming(ctx context.Context, sc *Scanner, initial []Target, cfg WaveCo
 		}
 		seen[t.Address] = true
 		pending = append(pending, grabJob{target: t, enqueuedNs: gm.queueWait.StartNs()})
+	}
+	if cfg.Delta != nil {
+		// Carried-over references from skipped referrers enter behind
+		// the port-scan seeds, mirroring the full scan's port-scan-first
+		// enqueue order (and its dedup: a port-scanned address is never
+		// re-grabbed via a reference).
+		for _, in := range cfg.Delta.Inject {
+			if seen[in.Addr] {
+				continue
+			}
+			seen[in.Addr] = true
+			pending = append(pending, grabJob{
+				target:     Target{Address: in.Addr, Via: ViaReference},
+				depth:      in.Depth,
+				enqueuedNs: gm.queueWait.StartNs(),
+			})
+			gm.followups.Inc()
+		}
 	}
 	gm.targets.Add(uint64(len(pending)))
 
@@ -197,6 +252,11 @@ func runStreaming(ctx context.Context, sc *Scanner, initial []Target, cfg WaveCo
 			if !cancelled && cfg.FollowReferences && out.depth < cfg.MaxFollowDepth {
 				for _, addr := range out.res.FollowUp {
 					if seen[addr] {
+						continue
+					}
+					if cfg.Delta != nil && cfg.Delta.Skip(addr) {
+						// Unchanged since the prior wave: the campaign
+						// clones its prior record instead of grabbing.
 						continue
 					}
 					seen[addr] = true
@@ -234,12 +294,37 @@ func runBarrier(ctx context.Context, sc *Scanner, targets []Target, cfg WaveConf
 	for _, t := range targets {
 		seen[t.Address] = true
 	}
+	// Delta injection under the barrier discipline: carried-over
+	// references wait for their recorded depth's batch, exactly where
+	// the full scan would have grabbed them.
+	inject := map[int][]Target{}
+	if cfg.Delta != nil {
+		for _, in := range cfg.Delta.Inject {
+			if seen[in.Addr] {
+				continue
+			}
+			seen[in.Addr] = true
+			inject[in.Depth] = append(inject[in.Depth], Target{Address: in.Addr, Via: ViaReference})
+			gm.targets.Inc()
+			gm.followups.Inc()
+		}
+	}
 	var all []*Result
-	for depth := 0; len(targets) > 0 && depth <= cfg.MaxFollowDepth; depth++ {
+	for depth := 0; (len(targets) > 0 || len(inject) > 0) && depth <= cfg.MaxFollowDepth; depth++ {
 		if ctx.Err() != nil {
 			break
 		}
+		if extra := inject[depth]; len(extra) > 0 {
+			targets = append(targets, extra...)
+			delete(inject, depth)
+		}
+		if len(targets) == 0 {
+			continue
+		}
 		results := grabBatch(ctx, sc, targets, cfg.GrabWorkers)
+		for _, res := range results {
+			res.FollowDepth = depth
+		}
 		all = append(all, results...)
 		for _, res := range results {
 			gm.observe(res)
@@ -251,6 +336,9 @@ func runBarrier(ctx context.Context, sc *Scanner, targets []Target, cfg WaveConf
 		for _, res := range results {
 			for _, addr := range res.FollowUp {
 				if seen[addr] {
+					continue
+				}
+				if cfg.Delta != nil && cfg.Delta.Skip(addr) {
 					continue
 				}
 				seen[addr] = true

@@ -116,6 +116,11 @@ type Result struct {
 	// references). The campaign scans them in the same wave (from
 	// 2020-05-04 onward, per Figure 2).
 	FollowUp []string
+	// FollowDepth is the follow-up depth the target was grabbed at
+	// (0 = port scan). Delta campaigns replay it so references carried
+	// over from a skipped referrer re-enter at the depth the full scan
+	// would have used, preserving the MaxFollowDepth cutoff.
+	FollowDepth int
 
 	BytesTransferred int64
 	Duration         time.Duration

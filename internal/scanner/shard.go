@@ -71,7 +71,7 @@ func runWaveRange(ctx context.Context, nw simnet.View, sc *Scanner, cfg WaveConf
 		cfg.GrabWorkers = 32
 	}
 	if cfg.MaxFollowDepth <= 0 {
-		cfg.MaxFollowDepth = 2
+		cfg.MaxFollowDepth = DefaultMaxFollowDepth
 	}
 	if cfg.PortScan.Metrics == nil {
 		// The discovery stage reports under the same scope as the grab
@@ -92,10 +92,18 @@ func runWaveRange(ctx context.Context, nw simnet.View, sc *Scanner, cfg WaveConf
 	}
 	targets := make([]Target, 0, len(open))
 	for _, addr := range open {
-		targets = append(targets, Target{
+		t := Target{
 			Address: fmt.Sprintf("%s:%d", addr, port),
 			Via:     ViaPortScan,
-		})
+		}
+		if cfg.Delta != nil && cfg.Delta.Skip(t.Address) {
+			// Provably unchanged since the prior wave: the campaign
+			// clones the prior record; no channel is opened. The port
+			// scan above still swept the address, so OpenPorts is the
+			// full wave's count.
+			continue
+		}
+		targets = append(targets, t)
 	}
 
 	if cfg.Barrier {

@@ -95,6 +95,20 @@ type CampaignConfig struct {
 	// its RSA operations, the pre-cache behavior kept as the benchmark
 	// baseline and equivalence gate. See DESIGN.md §4.
 	CryptoCache int
+	// Delta enables delta-wave execution (DESIGN.md §10): before each
+	// wave after the first selected one, every endpoint's wave state is
+	// fingerprinted from spec state alone (internal/wavediff) and
+	// diffed against the prior selected wave; provably-unchanged hosts
+	// get the prior wave's record cloned and re-stamped with zero
+	// channels opened, while any fingerprint miss — and the entire
+	// first wave — falls back to a real grab. The dataset is
+	// byte-identical to a full scan and the analyses DeepEqual it, with
+	// or without chaos, at any shard count (the byte-identity gates pin
+	// this). Requires at least two selected waves; forces one wave in
+	// flight at a time (the diff is a wave-to-wave dependency), so
+	// WaveWorkers is ignored. Telemetry: wave_delta_hits /
+	// wave_delta_misses / wave_delta_fallbacks per wave scope.
+	Delta bool
 	// Barrier selects the legacy depth-synchronized grab scheduling
 	// instead of the streaming work queue (benchmark baseline).
 	Barrier bool
@@ -453,6 +467,20 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 	}
 	cfg.progressf("materialized %d immutable wave views", len(views))
 
+	// Delta mode: fingerprint every selected wave up front (spec state
+	// only, no dialing) and thread one deltaWave per position from the
+	// scan side to the analysis side. dws[i] is written by the single
+	// scan worker before close(done[i]) and read by the merge loop
+	// after it, so the hand-off is ordered without a lock.
+	var tracker *deltaTracker
+	var dws []*deltaWave
+	if cfg.Delta {
+		if tracker, err = newDeltaTracker(cfg, world, waves); err != nil {
+			return nil, err
+		}
+		dws = make([]*deltaWave, len(waves))
+	}
+
 	// The analysis side is a streaming fold: each wave's records stream
 	// through a WaveAccumulator (and into cfg.RecordSink, in dataset
 	// order) as they are converted, and every finalized WaveAnalysis is
@@ -468,9 +496,24 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 		// across waves must equal the dataset's record count exactly —
 		// the invariant the metrics-accounting tests pin.
 		recordsC := cfg.Telemetry.Scope("wave", strconv.Itoa(w)).Counter("campaign_records")
+		results := wave.DatasetResults()
+		all := make([]*dataset.HostRecord, 0, len(results))
+		for _, res := range results {
+			all = append(all, dataset.FromResult(res, w, date, asnOf(views[i], res.Address)))
+		}
+		if cfg.Delta {
+			// Skipped hosts' re-stamped clones fold in and the combined
+			// set takes the standard deterministic order — exactly
+			// where a full scan's grabs would have streamed them.
+			dw := dws[i]
+			all = mergeDeltaRecords(all, dw)
+			if dw.delta() {
+				cfg.Telemetry.Scope("wave", strconv.Itoa(w)).
+					Counter("wave_delta_hits").Add(uint64(len(dw.clones)))
+			}
+		}
 		var recs []*dataset.HostRecord
-		for _, res := range wave.DatasetResults() {
-			rec := dataset.FromResult(res, w, date, asnOf(views[i], res.Address))
+		for _, rec := range all {
 			acc.Add(rec)
 			recordsC.Inc()
 			if !cfg.DiscardRecords {
@@ -519,8 +562,34 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 			Barrier:          cfg.Barrier,
 			Metrics:          waveScope,
 		}
+		var dw *deltaWave
+		if cfg.Delta {
+			// Waves run one at a time in delta mode, so the tracker's
+			// plan→scan→observe sequence is serial across waves; the
+			// Skip closure is read concurrently by shard goroutines but
+			// only ever reads.
+			dw = tracker.planWave(i)
+			dws[i] = dw
+			wcfg.Delta = dw.sd
+		}
+		// finishScan folds a successfully scanned wave back into the
+		// delta tracker and counts the wave's delta outcome. Errored or
+		// cancelled waves are never observed — a partial wave must not
+		// become the campaign's memory.
+		finishScan := func(wave *scanner.Wave, err error) (*scanner.Wave, error) {
+			if err != nil || wave == nil || !cfg.Delta {
+				return wave, err
+			}
+			tracker.observeWave(i, dw, wave, views[i])
+			if dw.delta() {
+				waveScope.Counter("wave_delta_misses").Add(uint64(len(wave.Results)))
+			} else {
+				waveScope.Counter("wave_delta_fallbacks").Inc()
+			}
+			return wave, nil
+		}
 		if cfg.Shards <= 1 {
-			return scanner.RunWave(ctx, views[i], &sc, wcfg)
+			return finishScan(scanner.RunWave(ctx, views[i], &sc, wcfg))
 		}
 		// In-process sharding: every shard of the wave's plan runs
 		// concurrently against the shared immutable view, then the
@@ -545,7 +614,7 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 				return merged, serr
 			}
 		}
-		return merged, nil
+		return finishScan(merged, nil)
 	}
 
 	if cfg.Sequential {
@@ -572,6 +641,13 @@ func RunCampaignOnWorld(ctx context.Context, cfg CampaignConfig, world *deploy.W
 
 	waveWorkers := cfg.WaveWorkers
 	if waveWorkers < 1 {
+		waveWorkers = 1
+	}
+	if cfg.Delta {
+		// The fingerprint diff (and the carried record/reference
+		// knowledge behind it) is a wave-to-wave serial dependency:
+		// wave i+1's plan reads the state wave i's scan observed. One
+		// wave in flight at a time; the scan/analysis overlap remains.
 		waveWorkers = 1
 	}
 	if waveWorkers > len(waves) {
@@ -686,7 +762,20 @@ func RunCampaignShard(ctx context.Context, cfg CampaignConfig, world *deploy.Wor
 	}
 	waves := slices.Clone(cfg.selectedWaves())
 	slices.Sort(waves)
-	for _, w := range waves {
+	// Delta mode per worker: the tracker runs over this worker's own
+	// shard stream. By induction over waves, a worker's delta stream is
+	// record-for-record its full-scan shard stream (its observations
+	// cover exactly the referrers and records it would re-grab), so the
+	// coordinator's MergeShardStreams yields the identical merged
+	// dataset at any shard count.
+	var tracker *deltaTracker
+	if cfg.Delta {
+		var terr error
+		if tracker, terr = newDeltaTracker(cfg, world, waves); terr != nil {
+			return terr
+		}
+	}
+	for wi, w := range waves {
 		date := deploy.WaveDates[w]
 		view, err := world.SnapshotWave(w)
 		if err != nil {
@@ -706,19 +795,40 @@ func RunCampaignShard(ctx context.Context, cfg CampaignConfig, world *deploy.Wor
 		sc.Trace = cfg.Trace
 		sc.TraceSeed = cfg.Seed
 		sc.TraceWave = w
-		wave, err := scanner.RunWaveShard(ctx, view, &sc, scanner.WaveConfig{
+		wcfg := scanner.WaveConfig{
 			Date:             date,
 			FollowReferences: w >= deploy.FollowReferencesFromWave,
 			GrabWorkers:      workers,
 			QueueSize:        cfg.QueueSize,
 			Barrier:          cfg.Barrier,
 			Metrics:          waveScope,
-		}, plan, shard)
+		}
+		var dw *deltaWave
+		if cfg.Delta {
+			dw = tracker.planWave(wi)
+			wcfg.Delta = dw.sd
+		}
+		wave, err := scanner.RunWaveShard(ctx, view, &sc, wcfg, plan, shard)
 		if err != nil {
 			return fmt.Errorf("opcuastudy: wave %d shard %d: %w", w, shard, err)
 		}
-		for _, res := range wave.DatasetResults() {
-			if err := sink.Put(dataset.FromResult(res, w, date, asnOf(view, res.Address))); err != nil {
+		results := wave.DatasetResults()
+		all := make([]*dataset.HostRecord, 0, len(results))
+		for _, res := range results {
+			all = append(all, dataset.FromResult(res, w, date, asnOf(view, res.Address)))
+		}
+		if cfg.Delta {
+			tracker.observeWave(wi, dw, wave, view)
+			all = mergeDeltaRecords(all, dw)
+			if dw.delta() {
+				waveScope.Counter("wave_delta_misses").Add(uint64(len(wave.Results)))
+				waveScope.Counter("wave_delta_hits").Add(uint64(len(dw.clones)))
+			} else {
+				waveScope.Counter("wave_delta_fallbacks").Inc()
+			}
+		}
+		for _, rec := range all {
+			if err := sink.Put(rec); err != nil {
 				return fmt.Errorf("opcuastudy: wave %d shard %d: sink: %w", w, shard, err)
 			}
 			recordsC.Inc()
@@ -784,6 +894,7 @@ func (cfg CampaignConfig) FabricSpec(shards int, heartbeat time.Duration) fabric
 		CryptoCache:  cfg.CryptoCache,
 		ChaosProfile: cfg.ChaosProfile,
 		ChaosSeed:    cfg.ChaosSeed,
+		Delta:        cfg.Delta,
 		Shards:       shards,
 		HeartbeatMs:  heartbeat.Milliseconds(),
 	}
@@ -804,6 +915,7 @@ func CampaignFromSpec(spec fabric.CampaignSpec) CampaignConfig {
 		CryptoCache:  spec.CryptoCache,
 		ChaosProfile: spec.ChaosProfile,
 		ChaosSeed:    spec.ChaosSeed,
+		Delta:        spec.Delta,
 	}
 }
 
